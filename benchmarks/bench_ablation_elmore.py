@@ -1,0 +1,61 @@
+"""Ablation A4 (extension) — do path-length Pareto sets cover Elmore?
+
+The paper optimises (wirelength, path length) and lists richer delay
+models as future work. This ablation measures how well the path-length
+Pareto set serves an Elmore-delay user: for each net, compare the best
+Elmore delay among PatLabor's Pareto set against the best Elmore delay
+among a large pool of candidate trees from every algorithm in the
+library. If the ratio stays near 1, the bicriterion set is a good proxy
+under Elmore too.
+
+Timed kernel: Elmore evaluation of one Pareto set.
+"""
+
+import random
+
+from repro.baselines.prim_dijkstra import pd_sweep
+from repro.baselines.salt import salt_sweep
+from repro.baselines.ysd import ysd
+from repro.core.patlabor import PatLabor
+from repro.eval.reporting import format_table
+from repro.geometry.net import random_net
+from repro.timing.elmore import ElmoreDelay
+
+from conftest import write_artifact
+
+NUM_NETS = 6
+DEGREE = 12
+
+
+def test_ablation_elmore_coverage(benchmark):
+    rng = random.Random(8)
+    model = ElmoreDelay()
+    rows = []
+    ratios = []
+    for i in range(NUM_NETS):
+        net = random_net(DEGREE, rng=rng)
+        ours = PatLabor().route(net)
+        pool = list(ours) + salt_sweep(net) + ysd(net) + pd_sweep(net)
+        best_ours = min(model.max_delay(t) for _, _, t in ours)
+        best_pool = min(model.max_delay(t) for _, _, t in pool)
+        ratio = best_ours / best_pool
+        ratios.append(ratio)
+        rows.append([i, f"{best_ours:.3f}", f"{best_pool:.3f}", f"{ratio:.3f}"])
+
+    mean_ratio = sum(ratios) / len(ratios)
+    table = format_table(
+        ["net", "best Elmore (PatLabor set)", "best Elmore (all trees)", "ratio"],
+        rows,
+        title=(
+            "Ablation — Elmore coverage of the path-length Pareto set "
+            f"(mean ratio {mean_ratio:.3f})"
+        ),
+    )
+    write_artifact("ablation_elmore.txt", table)
+
+    # The bicriterion Pareto set must remain a strong proxy under Elmore.
+    assert mean_ratio < 1.25
+
+    net = random_net(DEGREE, rng=random.Random(1))
+    front = PatLabor().route(net)
+    benchmark(lambda: [model.max_delay(t) for _, _, t in front])

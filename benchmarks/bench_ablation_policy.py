@@ -1,0 +1,80 @@
+"""Ablation A2 — the pin-selection policy π.
+
+Compares PatLabor's local search under three policies on the same large
+nets: the shipped trained weights, uniformly random selection, and a
+farthest-only policy (a2 = 1, rest 0). Quality = hypervolume of the
+returned front against a per-net reference point. The trained policy must
+not lose to random selection on aggregate.
+
+Timed kernel: one local-search route with the trained policy.
+"""
+
+import random
+
+from repro.core.pareto import hypervolume
+from repro.core.patlabor import PatLabor, PatLaborConfig
+from repro.core.policy import PolicyParams, SelectionPolicy
+from repro.eval.reporting import format_table
+from repro.geometry.net import random_net
+
+from conftest import write_artifact
+
+NUM_NETS = 5
+DEGREE = 24
+
+
+class RandomPolicy(SelectionPolicy):
+    """Uniform random pin selection (the training baseline)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def select(self, net, tree, k):
+        idx = list(range(len(net.sinks)))
+        self._rng.shuffle(idx)
+        return idx[:k]
+
+
+def test_ablation_policy(benchmark):
+    rng = random.Random(21)
+    nets = [random_net(DEGREE, rng=rng) for _ in range(NUM_NETS)]
+
+    policies = {
+        "trained": SelectionPolicy(),
+        "random": RandomPolicy(seed=1),
+        "farthest-only": SelectionPolicy(
+            {DEGREE: PolicyParams(0.0, 1.0, 0.0, 0.0)}
+        ),
+    }
+    scores = {}
+    fronts = {}
+    for name, policy in policies.items():
+        total = 0.0
+        sizes = []
+        for net in nets:
+            router = PatLabor(
+                policy=policy, config=PatLaborConfig(seed=7)
+            )
+            front = router.route(net)
+            ref = (2.0 * net.star_wirelength(), 2.0 * net.star_wirelength())
+            total += hypervolume(front, ref) / (ref[0] * ref[1])
+            sizes.append(len(front))
+        scores[name] = total / NUM_NETS
+        fronts[name] = sum(sizes) / len(sizes)
+
+    table = format_table(
+        ["policy", "mean norm. hypervolume", "mean front size"],
+        [
+            [name, f"{scores[name]:.4f}", f"{fronts[name]:.1f}"]
+            for name in policies
+        ],
+        title=f"Ablation — selection policy (degree-{DEGREE}, {NUM_NETS} nets)",
+    )
+    write_artifact("ablation_policy.txt", table)
+
+    assert scores["trained"] >= scores["random"] - 0.01
+
+    router = PatLabor(config=PatLaborConfig(seed=7))
+    net = nets[0]
+    benchmark.pedantic(lambda: router.route(net), rounds=1, iterations=2)

@@ -1,0 +1,68 @@
+"""Ablation A1 — Pareto-DW pruning lemmas (2, 3, 4) on/off.
+
+DESIGN.md calls out the three pruning lemmas as the reason Pareto-DW is
+practical. Measures DP work counters and wall time per configuration on
+the same nets; all configurations must return identical frontiers
+(exactness is pruning-independent).
+
+Timed kernels: full DW with all pruning vs none (two benchmark rounds via
+pedantic manual timing; the pytest-benchmark fixture times the pruned
+variant).
+"""
+
+import random
+import time
+
+from repro.core.pareto_dw import DWStats, pareto_frontier
+from repro.eval.reporting import format_table
+from repro.geometry.net import random_net
+
+from conftest import write_artifact
+
+CONFIGS = [
+    ("all on", dict(lemma2=True, lemma3=True, lemma4=True)),
+    ("no L2", dict(lemma2=False, lemma3=True, lemma4=True)),
+    ("no L3", dict(lemma2=True, lemma3=False, lemma4=True)),
+    ("no L4", dict(lemma2=True, lemma3=True, lemma4=False)),
+    ("all off", dict(lemma2=False, lemma3=False, lemma4=False)),
+]
+
+
+def test_ablation_pruning(benchmark):
+    rng = random.Random(12)
+    nets = [random_net(7, rng=rng) for _ in range(4)]
+
+    reference = [pareto_frontier(n) for n in nets]
+    rows = []
+    timings = {}
+    for name, flags in CONFIGS:
+        stats = DWStats()
+        t0 = time.perf_counter()
+        fronts = [pareto_frontier(n, stats=stats, **flags) for n in nets]
+        elapsed = time.perf_counter() - t0
+        timings[name] = elapsed
+        for got, want in zip(fronts, reference):
+            assert len(got) == len(want)
+            for (gw, gd), (ww, wd) in zip(got, want):
+                assert abs(gw - ww) < 1e-6 and abs(gd - wd) < 1e-6
+        rows.append(
+            [
+                name,
+                stats.grid_nodes,
+                stats.merge_transitions,
+                stats.closure_extensions,
+                f"{elapsed:.2f}s",
+            ]
+        )
+    table = format_table(
+        ["config", "grid nodes", "merge transitions", "closure ext", "time (4 nets)"],
+        rows,
+        title="Ablation — Pareto-DW pruning lemmas (degree-7 nets)",
+    )
+    write_artifact("ablation_pruning.txt", table)
+
+    # Pruning must pay: full pruning beats no pruning clearly.
+    assert timings["all on"] < timings["all off"]
+
+    net = nets[0]
+    benchmark(lambda: pareto_frontier(net))

@@ -1,0 +1,71 @@
+"""Ablation A3 — symbolic pruning strength: componentwise vs exact LP.
+
+The paper prunes lookup-table entries with an SMT solver (Lemma 1); this
+reproduction decides the same condition exactly with LP, or soundly with
+a cheap componentwise test. Trade-off measured here: the LP mode stores
+fewer topologies per pattern but takes longer to generate. Lookup results
+must be identical (both modes are sound).
+
+Timed kernel: solving one degree-5 pattern with componentwise pruning.
+"""
+
+import random
+import time
+
+from repro.eval.reporting import format_table
+from repro.geometry.net import random_net
+from repro.lut.generator import enumerate_canonical_patterns, solve_pattern
+from repro.lut.table import LookupTable
+
+from conftest import write_artifact
+
+NUM_PATTERNS = 20
+
+
+def test_ablation_symbolic_pruning(benchmark):
+    patterns = []
+    for i, p in enumerate(enumerate_canonical_patterns(5)):
+        if i >= NUM_PATTERNS:
+            break
+        patterns.append(p)
+
+    rows = []
+    counts = {}
+    for mode in ("componentwise", "lp"):
+        t0 = time.perf_counter()
+        sizes = [
+            len(solve_pattern(perm, src, prune_mode=mode).solutions)
+            for perm, src in patterns
+        ]
+        elapsed = time.perf_counter() - t0
+        counts[mode] = sum(sizes)
+        rows.append(
+            [
+                mode,
+                f"{sum(sizes) / len(sizes):.2f}",
+                max(sizes),
+                f"{elapsed:.2f}s",
+            ]
+        )
+    table = format_table(
+        ["prune mode", "avg #topologies", "max", f"time ({NUM_PATTERNS} patterns)"],
+        rows,
+        title="Ablation — Lemma 1 pruning: componentwise vs exact LP",
+    )
+    write_artifact("ablation_symbolic_prune.txt", table)
+
+    # LP never stores more...
+    assert counts["lp"] <= counts["componentwise"]
+
+    # ...and both modes answer lookups identically.
+    cw = LookupTable.build(degrees=(4,), prune_mode="componentwise")
+    lp = LookupTable.build(degrees=(4,), prune_mode="lp")
+    rng = random.Random(5)
+    for _ in range(10):
+        net = random_net(4, rng=rng)
+        a = [(round(w, 6), round(d, 6)) for w, d in cw.frontier(net)]
+        b = [(round(w, 6), round(d, 6)) for w, d in lp.frontier(net)]
+        assert a == b
+
+    perm, src = patterns[0]
+    benchmark(lambda: solve_pattern(perm, src))

@@ -1,0 +1,83 @@
+"""Fig. 1 / Fig. 2 — the motivating example.
+
+Regenerates the paper's opening figure on one clustered net: PatLabor
+recovers the *full* Pareto frontier while SALT's and the YSD-substitute's
+parameter sweeps recover only parts of it. Also emits the three-trees
+illustration of Fig. 2 (min-wirelength / min-delay / balanced) as SVG.
+
+Timed kernel: one full PatLabor route of the example net.
+"""
+
+import random
+
+from repro.baselines.salt import salt_sweep
+from repro.baselines.ysd import ysd
+from repro.core.pareto import count_on_frontier
+from repro.core.patlabor import PatLabor
+from repro.eval.benchmarks import synth_net
+from repro.eval.reporting import format_table
+from repro.viz.svg import pareto_curve_svg, tree_svg
+
+from conftest import write_artifact
+
+
+def _example_net():
+    """A degree-8 clustered net with a rich frontier (seed chosen so the
+    exact frontier has >= 3 points, mirroring Fig. 2's three solutions)."""
+    for seed in range(100):
+        net = synth_net(8, random.Random(seed), style="clustered2")
+        front = PatLabor().route(net)
+        if len(front) >= 3:
+            return net, front
+    raise AssertionError("no multi-point example found — distribution bug")
+
+
+def test_fig1_example(benchmark):
+    net, frontier = _example_net()
+    benchmark(lambda: PatLabor().route(net))
+
+    salt_front = salt_sweep(net)
+    ysd_front = ysd(net)
+    rows = []
+    for name, front in (
+        ("PatLabor", frontier),
+        ("SALT", salt_front),
+        ("YSD", ysd_front),
+    ):
+        rows.append(
+            [
+                name,
+                len(front),
+                count_on_frontier(front, frontier),
+                f"{min(w for w, _, _ in front):.0f}",
+                f"{min(d for _, d, _ in front):.0f}",
+            ]
+        )
+    table = format_table(
+        ["method", "#solutions", "on frontier", "best w", "best d"],
+        rows,
+        title=f"Fig. 1 example ({net.name}, degree {net.degree}; "
+        f"frontier size {len(frontier)})",
+    )
+    svg = pareto_curve_svg(
+        [("PatLabor", frontier), ("SALT", salt_front), ("YSD", ysd_front)],
+        title="Fig. 1 — Pareto curves",
+    )
+    write_artifact("fig1_example.txt", table)
+    write_artifact("fig1_curves.svg", svg)
+
+    # Fig. 2: min-w, min-d, and a balanced tree.
+    picks = [frontier[0], frontier[-1], frontier[len(frontier) // 2]]
+    labels = ["min wirelength", "min delay", "balanced"]
+    for (w, d, tree), label in zip(picks, labels):
+        write_artifact(
+            f"fig2_{label.replace(' ', '_')}.svg",
+            tree_svg(tree, title=f"{label}: w={w:.0f} d={d:.0f}"),
+        )
+
+    # The paper's claim on this figure: baselines cannot recover the full
+    # frontier, PatLabor can.
+    assert count_on_frontier(frontier, frontier) == len(frontier)
+    assert count_on_frontier(salt_front, frontier) < len(frontier) or (
+        count_on_frontier(ysd_front, frontier) < len(frontier)
+    )

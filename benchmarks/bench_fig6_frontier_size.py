@@ -1,0 +1,34 @@
+"""Fig. 6 — maximum Pareto frontier size vs net degree, with linear fit.
+
+Paper result: on 9e5 ICCAD-15 nets the per-degree *maximum* frontier size
+grows ≈ 2.85·n − 10.9 (max 16 at n = 9). Reproduced on the synthetic
+suite at reduced sample counts — maxima over fewer samples land lower,
+but the growth must stay roughly linear (and absurdly far below the 2^n
+worst case of Theorem 1).
+
+Timed kernel: exact frontier of one degree-8 suite net.
+"""
+
+from repro.analysis.frontier_stats import fig6_experiment
+from repro.core.pareto_dw import pareto_frontier
+from repro.eval.reporting import render_fig6
+
+from conftest import write_artifact
+
+
+def test_fig6_frontier_sizes(benchmark, small_nets):
+    nets = [n for n in small_nets if n.degree <= 8]
+    result = fig6_experiment(nets)
+    write_artifact("fig6_frontier_size.txt", render_fig6(result))
+
+    per_degree = {s.degree: s for s in result.per_degree}
+    # Shape: max frontier size grows with degree overall...
+    assert per_degree[8].max_size >= per_degree[4].max_size
+    # ...at a linear-ish rate: far below the exponential worst case.
+    for n, s in per_degree.items():
+        assert s.max_size <= 4 * n
+    # The fitted slope is positive (paper: 2.85).
+    assert result.slope > 0
+
+    net8 = next(n for n in nets if n.degree == 8)
+    benchmark(lambda: pareto_frontier(net8))

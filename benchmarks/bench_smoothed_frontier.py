@@ -1,0 +1,60 @@
+"""Theorem 2 — smoothed frontier sizes are polynomial (≈ linear) in n.
+
+Measures the exact frontier size of κ-smoothed nets across degree and
+smoothing parameter. Expected shape (Theorem 2: ``O(n^3 κ)`` expected):
+mean size grows slowly with n and increases with κ.
+
+Scaling: paper analyses 9e5 benchmark nets; we sample
+``samples`` per (n, κ) cell.
+
+Timed kernel: one exact frontier of a κ=16 degree-7 net.
+"""
+
+import random
+
+from repro.analysis.smoothed import frontier_size_experiment, smoothed_net
+from repro.core.pareto_dw import pareto_frontier
+from repro.eval.reporting import format_table
+
+from conftest import write_artifact
+
+DEGREES = (4, 5, 6, 7, 8)
+KAPPAS = (1.0, 4.0, 16.0)
+SAMPLES = 12
+
+
+def test_theorem2_smoothed_frontier(benchmark):
+    rows_raw = frontier_size_experiment(
+        degrees=DEGREES, kappas=KAPPAS, samples=SAMPLES, seed=7
+    )
+    by_kappa = {}
+    for r in rows_raw:
+        by_kappa.setdefault(r.kappa, {})[r.degree] = r
+
+    rows = []
+    for n in DEGREES:
+        rows.append(
+            [n]
+            + [
+                f"{by_kappa[k][n].mean_size:.2f}/{by_kappa[k][n].max_size}"
+                for k in KAPPAS
+            ]
+        )
+    table = format_table(
+        ["n"] + [f"kappa={k:g} (mean/max)" for k in KAPPAS],
+        rows,
+        title=f"Theorem 2 — smoothed frontier sizes ({SAMPLES} nets per cell)",
+    )
+    write_artifact("theorem2_smoothed.txt", table)
+
+    # Shape assertions: polynomial growth (mean stays tiny vs 2^n), and
+    # the most-smoothed column is never richer than the most-concentrated.
+    for k in KAPPAS:
+        for n in DEGREES:
+            assert by_kappa[k][n].mean_size <= n * n  # << 2^n
+    mean_k1 = sum(by_kappa[1.0][n].mean_size for n in DEGREES)
+    mean_k16 = sum(by_kappa[16.0][n].mean_size for n in DEGREES)
+    assert mean_k16 >= mean_k1 * 0.8  # concentration does not shrink fronts
+
+    net = smoothed_net(7, kappa=16.0, rng=random.Random(3))
+    benchmark(lambda: pareto_frontier(net))

@@ -1,0 +1,47 @@
+"""Theorem 5 — generalisation of the learned policy parameters.
+
+The theorem bounds the train/test performance gap by Õ(sqrt(n/m)).
+Regenerated evidence: train the selection policy on m nets for growing m
+and measure the empirical gap on held-out nets — it must stay small and
+not grow with m.
+
+Timed kernel: one policy-performance evaluation.
+"""
+
+import random
+
+from repro.analysis.generalization import (
+    generalization_experiment,
+    policy_performance,
+)
+from repro.core.policy import SelectionPolicy
+from repro.eval.reporting import format_table
+from repro.geometry.net import random_net
+
+from conftest import write_artifact
+
+
+def test_theorem5_generalization(benchmark):
+    rows = generalization_experiment(
+        degree=12, training_sizes=(2, 4, 8), test_nets=8, lam=8, seed=3
+    )
+    table = format_table(
+        ["m (training nets)", "train perf", "test perf", "gap"],
+        [
+            [r.m, f"{r.train_perf:.4f}", f"{r.test_perf:.4f}", f"{r.gap:.4f}"]
+            for r in rows
+        ],
+        title="Theorem 5 — policy generalisation gap vs training-set size",
+    )
+    write_artifact("theorem5_generalization.txt", table)
+
+    # The gap is bounded and the largest-m gap is not the worst one.
+    gaps = [r.gap for r in rows]
+    assert all(g < 0.5 for g in gaps)
+    assert gaps[-1] <= max(gaps) + 1e-12
+
+    nets = [random_net(12, rng=random.Random(1)) for _ in range(3)]
+    policy = SelectionPolicy()
+    benchmark.pedantic(
+        lambda: policy_performance(policy, nets, lam=8), rounds=1, iterations=1
+    )

@@ -1,0 +1,63 @@
+"""Shared infrastructure for the paper-artefact benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at reduced
+scale (pure Python vs the authors' C++ on 16 cores; scaling factors are
+stated in each module docstring and recorded in EXPERIMENTS.md). Rendered
+artefacts are written to ``benchmarks/results/`` and echoed to stdout.
+
+Heavy shared work — routing the small-net comparison pool — happens once
+in session fixtures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.benchmarks import Iccad15LikeSuite
+from repro.eval.runner import compare_on_nets, default_methods, fig7_normalizers
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Nets per degree for the small-net experiments (paper: the full 904,915
+#: nets of the ICCAD-15 benchmark; scaled ~1/4000 here).
+SMALL_PER_DEGREE = {4: 30, 5: 30, 6: 24, 7: 18, 8: 10, 9: 6}
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a rendered table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    print(f"\n{content}\n[artifact written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def suite() -> Iccad15LikeSuite:
+    return Iccad15LikeSuite(seed=2015)
+
+
+@pytest.fixture(scope="session")
+def small_nets(suite):
+    """The small-degree comparison pool, flattened."""
+    nets = []
+    for degree, count in SMALL_PER_DEGREE.items():
+        nets.extend(suite.small_nets(degrees=(degree,), per_degree=count)[degree])
+    return nets
+
+
+@pytest.fixture(scope="session")
+def small_comparisons(small_nets):
+    """PatLabor / SALT / YSD + exact frontier on every small net.
+
+    This is the shared input of Tables III & IV and Fig. 7(a); routing
+    ~120 nets takes a couple of minutes in pure Python.
+    """
+    return compare_on_nets(small_nets, default_methods())
+
+
+@pytest.fixture(scope="session")
+def small_normalizers(small_nets):
+    return fig7_normalizers(small_nets)

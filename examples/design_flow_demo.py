@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Design-level routing flow with congestion negotiation.
+
+Run:  python examples/design_flow_demo.py [output_dir]
+
+Routes a small synthetic design three ways — Pareto candidate sets,
+always-RSMT, always-shortest-path — through the sequential flow of
+``repro.eval.design_flow`` and renders:
+
+* a strategy comparison table (wire / budget misses / overflow),
+* a congestion heatmap SVG per strategy with the routed trees overlaid.
+
+This is the paper's global-routing integration story made concrete: with
+the whole Pareto set available per net, the router meets every timing
+budget while spending the least wire and steering around hot cells.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+from repro.eval.design_flow import DesignFlowConfig, route_design
+from repro.eval.flow_report import render_flow_detail, render_flow_summary
+from repro.geometry.net import random_net
+from repro.viz.heatmap import congestion_heatmap_svg
+from repro.viz.svg import save_svg
+
+
+def main(out_dir: str = "design_flow_out") -> None:
+    out = Path(out_dir)
+    out.mkdir(exist_ok=True)
+
+    rng = random.Random(11)
+    nets = [
+        random_net(rng.choice((4, 5, 6, 7, 8)), rng=rng, span=1000.0,
+                   name=f"net{i:02d}")
+        for i in range(18)
+    ]
+    config = DesignFlowConfig(delay_slack=0.08, capacity=180.0, cells=12)
+
+    results = {}
+    for strategy in ("pareto", "rsmt", "shortest"):
+        results[strategy] = route_design(nets, strategy=strategy, config=config)
+        svg = congestion_heatmap_svg(
+            results[strategy].demand,
+            title=f"demand — {strategy}",
+            vmax=config.capacity * 2,
+        )
+        save_svg(svg, str(out / f"demand_{strategy}.svg"))
+
+    print(render_flow_summary(results))
+    print()
+    print(render_flow_detail(results["pareto"], limit=8))
+    print(f"\nheatmaps written to {out}/")
+
+    pareto, fast = results["pareto"], results["shortest"]
+    assert pareto.budget_misses == 0
+    assert pareto.total_wirelength <= fast.total_wirelength + 1e-6
+    print(
+        "\nPareto flow: every budget met with "
+        f"{(1 - pareto.total_wirelength / fast.total_wirelength) * 100:.1f}% "
+        "less wire than always-shortest ✔"
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

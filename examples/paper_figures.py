@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's illustrative figures (Figs. 1-4) as SVG files.
+
+Run:  python examples/paper_figures.py [output_dir]
+
+* Fig. 1 — Pareto curves: PatLabor (full frontier) vs SALT vs YSD sweeps,
+* Fig. 2 — three Pareto-optimal trees of one net (min-w / min-d / balanced),
+* Fig. 3 — a Hanan grid with a routing tree on it,
+* Fig. 4 — the Theorem-1 exponential-frontier gadget instance.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+from repro import Net, PatLabor
+from repro.analysis.theorem1 import combination_tree, exponential_instance
+from repro.baselines.salt import salt_sweep
+from repro.baselines.ysd import ysd
+from repro.eval.benchmarks import synth_net
+from repro.viz.svg import pareto_curve_svg, save_svg, tree_svg
+
+
+def pick_example_net() -> Net:
+    """A clustered degree-8 net whose frontier has >= 3 points."""
+    router = PatLabor()
+    for seed in range(200):
+        net = synth_net(8, random.Random(seed), style="clustered2")
+        if len(router.route(net)) >= 3:
+            return net
+    raise SystemExit("no example net found")
+
+
+def main(out_dir: str = "paper_figures") -> None:
+    out = Path(out_dir)
+    out.mkdir(exist_ok=True)
+    router = PatLabor()
+
+    # ---- Fig. 1: Pareto curves ------------------------------------------
+    net = pick_example_net()
+    frontier = router.route(net)
+    save_svg(
+        pareto_curve_svg(
+            [
+                ("PatLabor (full frontier)", frontier),
+                ("SALT sweep", salt_sweep(net)),
+                ("YSD sweep", ysd(net)),
+            ],
+            title=f"Fig. 1 — Pareto curves (degree-{net.degree} net)",
+        ),
+        str(out / "fig1_pareto_curves.svg"),
+    )
+    print(f"Fig. 1: frontier size {len(frontier)} -> fig1_pareto_curves.svg")
+
+    # ---- Fig. 2: three Pareto-optimal trees -----------------------------
+    picks = [
+        ("min_wirelength", frontier[0]),
+        ("balanced", frontier[len(frontier) // 2]),
+        ("min_delay", frontier[-1]),
+    ]
+    for label, (w, d, tree) in picks:
+        save_svg(
+            tree_svg(tree, title=f"w={w:.0f}, d={d:.0f}"),
+            str(out / f"fig2_{label}.svg"),
+        )
+        print(f"Fig. 2 ({label}): w={w:.0f} d={d:.0f}")
+
+    # ---- Fig. 3: a Hanan grid and a tree on it --------------------------
+    small = Net.from_points((0, 0), [(30, 10), (12, 28), (25, 22)])
+    tree = router.route(small)[0][2]
+    save_svg(
+        tree_svg(tree, title="Fig. 3 — tree on the Hanan grid"),
+        str(out / "fig3_hanan_tree.svg"),
+    )
+
+    # ---- Fig. 4: Theorem 1 gadget instance ------------------------------
+    gadget_net = exponential_instance(2)
+    for idx, choices in enumerate([(False, False), (True, True)]):
+        tree = combination_tree(gadget_net, list(choices))
+        w, d = tree.objective()
+        save_svg(
+            tree_svg(
+                tree,
+                title=f"Fig. 4 — gadget combination {choices}: w={w:.0f} d={d:.0f}",
+            ),
+            str(out / f"fig4_gadget_{idx}.svg"),
+        )
+    print(f"Fig. 4: gadget instance has {gadget_net.degree} pins")
+    print(f"\nall figures written to {out}/")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,81 @@
+"""PatLabor: Pareto optimization of timing-driven routing trees.
+
+A from-scratch Python reproduction of the DAC 2025 paper. The public API
+centres on four things:
+
+* :class:`~repro.geometry.net.Net` — a net (source pin + sinks),
+* :class:`~repro.core.patlabor.PatLabor` — the practical Pareto router
+  (``router.route(net)`` returns the Pareto set of ``(w, d, tree)``),
+* :func:`~repro.core.pareto_dw.pareto_dw` — the exact frontier for small
+  nets,
+* :class:`~repro.lut.table.LookupTable` — offline tables that make exact
+  small-net routing fast.
+
+Quickstart::
+
+    from repro import Net, PatLabor
+
+    net = Net.from_points((0, 0), [(10, 2), (7, 9), (3, 8), (11, 11)])
+    for w, d, tree in PatLabor().route(net):
+        print(w, d, tree)
+
+See ``examples/`` for full workflows and ``benchmarks/`` for the scripts
+regenerating every table and figure of the paper.
+"""
+
+from .exceptions import (
+    DegreeTooLargeError,
+    InvalidNetError,
+    InvalidTreeError,
+    LookupTableError,
+    PolicyError,
+    ReproError,
+    SerializationError,
+)
+from .geometry import BBox, HananGrid, Net, Point, hpwl, l1, random_net
+from .routing import RoutingTree
+from .core import (
+    PatLabor,
+    PatLaborConfig,
+    SelectionPolicy,
+    dominates,
+    epsilon_indicator,
+    hypervolume,
+    pareto_dw,
+    pareto_filter,
+    pareto_frontier,
+    pareto_ks,
+)
+from .lut import LookupTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBox",
+    "DegreeTooLargeError",
+    "HananGrid",
+    "InvalidNetError",
+    "InvalidTreeError",
+    "LookupTable",
+    "LookupTableError",
+    "Net",
+    "PatLabor",
+    "PatLaborConfig",
+    "Point",
+    "PolicyError",
+    "ReproError",
+    "RoutingTree",
+    "SelectionPolicy",
+    "SerializationError",
+    "__version__",
+    "dominates",
+    "epsilon_indicator",
+    "hpwl",
+    "hypervolume",
+    "l1",
+    "pareto_dw",
+    "pareto_filter",
+    "pareto_frontier",
+    "pareto_ks",
+    "random_net",
+]

@@ -1,0 +1,47 @@
+"""Theoretical-results verification: Theorems 1, 2, 5 and Fig. 6."""
+
+from .frontier_stats import (
+    DegreeFrontierStats,
+    Fig6Result,
+    fig6_experiment,
+    frontier_sizes,
+)
+from .generalization import (
+    GeneralizationRow,
+    generalization_experiment,
+    policy_performance,
+)
+from .smoothed import (
+    FrontierSizeRow,
+    clustered_net,
+    frontier_size_experiment,
+    linear_fit,
+    smoothed_net,
+)
+from .theorem1 import (
+    all_combination_objectives,
+    combination_tree,
+    exponential_instance,
+    gadget_specs,
+    verify_antichain,
+)
+
+__all__ = [
+    "DegreeFrontierStats",
+    "Fig6Result",
+    "FrontierSizeRow",
+    "GeneralizationRow",
+    "all_combination_objectives",
+    "clustered_net",
+    "combination_tree",
+    "exponential_instance",
+    "fig6_experiment",
+    "frontier_size_experiment",
+    "frontier_sizes",
+    "gadget_specs",
+    "generalization_experiment",
+    "linear_fit",
+    "policy_performance",
+    "smoothed_net",
+    "verify_antichain",
+]

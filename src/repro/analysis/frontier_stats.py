@@ -1,0 +1,76 @@
+"""Frontier-size statistics over benchmark nets (paper, Fig. 6).
+
+The paper computes, for every net of degree ``n <= 9`` in the ICCAD-15
+benchmark, the exact Pareto frontier size, and reports the *maximum* per
+degree together with a least-squares fit (``y = 2.85x - 10.9``). This
+module reproduces the measurement for any net collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.pareto_dw import pareto_dw
+from ..geometry.net import Net
+from .smoothed import linear_fit
+
+
+@dataclass
+class DegreeFrontierStats:
+    """Frontier-size summary for one degree."""
+
+    degree: int
+    count: int
+    mean_size: float
+    max_size: int
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class Fig6Result:
+    """The full Fig. 6 artefact: per-degree stats plus the fitted line."""
+
+    per_degree: List[DegreeFrontierStats]
+    slope: float
+    intercept: float
+
+    def max_sizes(self) -> List[Tuple[int, int]]:
+        return [(s.degree, s.max_size) for s in self.per_degree]
+
+
+def frontier_sizes(nets: Iterable[Net]) -> Dict[int, List[int]]:
+    """Exact frontier size of every net, grouped by degree."""
+    sizes: Dict[int, List[int]] = {}
+    for net in nets:
+        front = pareto_dw(net, with_trees=False)
+        sizes.setdefault(net.degree, []).append(len(front))
+    return sizes
+
+
+def fig6_experiment(nets: Iterable[Net]) -> Fig6Result:
+    """Max frontier size per degree and the linear fit of the maxima."""
+    grouped = frontier_sizes(nets)
+    per_degree: List[DegreeFrontierStats] = []
+    for n in sorted(grouped):
+        sizes = grouped[n]
+        hist: Dict[int, int] = {}
+        for s in sizes:
+            hist[s] = hist.get(s, 0) + 1
+        per_degree.append(
+            DegreeFrontierStats(
+                degree=n,
+                count=len(sizes),
+                mean_size=sum(sizes) / len(sizes),
+                max_size=max(sizes),
+                histogram=hist,
+            )
+        )
+    if len(per_degree) >= 2:
+        slope, intercept = linear_fit(
+            [float(s.degree) for s in per_degree],
+            [float(s.max_size) for s in per_degree],
+        )
+    else:
+        slope, intercept = 0.0, float(per_degree[0].max_size if per_degree else 0)
+    return Fig6Result(per_degree=per_degree, slope=slope, intercept=intercept)

@@ -1,0 +1,84 @@
+"""Theorem 5: generalisation of learned policy parameters.
+
+The theorem bounds the gap between a policy's empirical performance on the
+``m`` training instances and its expected performance on the instance
+distribution by ``Õ(sqrt(n / m))``. The experiment here estimates both
+sides directly: train the selection policy on ``m`` sampled nets, then
+evaluate the same performance metric on a fresh test sample, and report
+the gap as ``m`` grows — it should shrink roughly like ``1 / sqrt(m)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.pareto import hypervolume
+from ..core.patlabor import PatLabor, PatLaborConfig
+from ..core.policy import SelectionPolicy, train_policy
+from ..geometry.net import Net, random_net
+
+
+def policy_performance(
+    policy: SelectionPolicy,
+    nets: Sequence[Net],
+    lam: int = 8,
+) -> float:
+    """Mean normalised hypervolume PatLabor reaches with this policy."""
+    total = 0.0
+    for net in nets:
+        router = PatLabor(
+            config=PatLaborConfig(lam=lam, iterations=1, post_refine=False),
+            policy=policy,
+        )
+        front = router.route(net)
+        w0 = max(s[0] for s in front)
+        d0 = max(s[1] for s in front)
+        ref = (2.0 * w0, 2.0 * d0)
+        total += hypervolume(front, ref) / (ref[0] * ref[1])
+    return total / len(nets)
+
+
+@dataclass
+class GeneralizationRow:
+    """One training-set-size point of the Theorem-5 curve."""
+
+    m: int
+    train_perf: float
+    test_perf: float
+
+    @property
+    def gap(self) -> float:
+        return abs(self.train_perf - self.test_perf)
+
+
+def generalization_experiment(
+    degree: int = 12,
+    training_sizes: Sequence[int] = (2, 4, 8),
+    test_nets: int = 12,
+    lam: int = 8,
+    seed: int = 0,
+) -> List[GeneralizationRow]:
+    """Train on m nets, evaluate train/test performance, report the gap."""
+    rng = random.Random(seed)
+    test = [random_net(degree, rng=rng) for _ in range(test_nets)]
+    rows: List[GeneralizationRow] = []
+    for m in training_sizes:
+        params = train_policy(
+            degrees=(degree,),
+            nets_per_degree=m,
+            rollouts=6,
+            lam=lam,
+            seed=seed + m,
+        )
+        policy = SelectionPolicy(params)
+        train = [random_net(degree, rng=random.Random(seed + m)) for _ in range(m)]
+        rows.append(
+            GeneralizationRow(
+                m=m,
+                train_perf=policy_performance(policy, train, lam=lam),
+                test_perf=policy_performance(policy, test, lam=lam),
+            )
+        )
+    return rows

@@ -1,0 +1,129 @@
+"""Theorem 1: instances whose Pareto frontier is exponentially large.
+
+The paper's construction chains m "S-shape" gadgets of 11 pins in a
+diagonal pattern with geometrically growing dimensions. This module builds
+a *compact* gadget family with the same behaviour that stays small enough
+for exact Python-scale verification (5 pins per gadget instead of 11):
+
+Each gadget k hangs an "arc" of four collinear pins at height ``±3u_k``
+(signs alternate so adjacent gadgets cannot share vertical wire) followed
+by an exit pin back on the baseline. The tree chooses, independently per
+gadget, between
+
+* **reuse** — drop to the exit from the arc's end: cheapest wire, but the
+  path to everything downstream detours over the arc (+``6 u_k`` delay);
+* **fast**  — a dedicated baseline trunk to the exit: +``3 u_k`` wire,
+  shortest downstream path.
+
+With ``u_k = 8^k`` the ``2^m`` choice combinations have pairwise
+incomparable ``(w, d)`` — an antichain witnessing a frontier of size
+``2^m = 2^{Ω(n)}`` — and exact Pareto-DW confirms that for ``m <= 2``
+every combination is on the true frontier (verified in the tests and the
+Theorem-1 benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..geometry.net import Net
+from ..geometry.point import Point
+from ..routing.tree import RoutingTree
+
+PINS_PER_GADGET = 5
+
+
+@dataclass(frozen=True)
+class GadgetSpec:
+    """Geometry of one gadget: arc height sign already applied."""
+
+    arc_x: float      # x of the arc's left end
+    h: float          # signed arc height
+    x: float          # arc width
+    exit_x: float     # x of the exit pin (on the baseline)
+
+
+def gadget_specs(m: int, base: float = 8.0) -> List[GadgetSpec]:
+    """Geometry of the ``m`` chained gadgets."""
+    specs: List[GadgetSpec] = []
+    ex = 0.0
+    prev_u = 0.0
+    for i in range(m):
+        u = base**i
+        sign = 1.0 if i % 2 == 0 else -1.0
+        h, x, gap = 3.0 * u * sign, 6.0 * u, 8.0 * u
+        runway = 4.0 * prev_u  # decouples this gadget from the previous one
+        ax = ex + runway
+        specs.append(GadgetSpec(arc_x=ax, h=h, x=x, exit_x=ax + x + gap))
+        ex = ax + x + gap
+        prev_u = u
+    return specs
+
+
+def exponential_instance(m: int, base: float = 8.0) -> Net:
+    """The Theorem-1 instance with ``m`` gadgets (``5m + 1`` pins)."""
+    if m < 1:
+        raise ValueError("need at least one gadget")
+    pins: List[Tuple[float, float]] = [(0.0, 0.0)]
+    for g in gadget_specs(m, base):
+        for t in range(4):
+            pins.append((g.arc_x + t * g.x / 3.0, g.h))
+        pins.append((g.exit_x, 0.0))
+    return Net.from_points(pins[0], pins[1:], name=f"theorem1_m{m}")
+
+
+def combination_tree(net: Net, choices: Sequence[bool], base: float = 8.0) -> RoutingTree:
+    """The explicit tree for one choice vector (True = reuse, False = fast).
+
+    These are the ``2^m`` witnesses of the theorem's proof sketch: their
+    objectives form an antichain (see :func:`verify_antichain`).
+    """
+    m = len(choices)
+    specs = gadget_specs(m, base)
+    if net.degree != PINS_PER_GADGET * m + 1:
+        raise ValueError("choice vector length does not match the instance")
+    edges: List[Tuple[Point, Point]] = []
+    entry = Point(0.0, 0.0)
+    for g, reuse in zip(specs, choices):
+        tops = [Point(g.arc_x + t * g.x / 3.0, g.h) for t in range(4)]
+        exit_pin = Point(g.exit_x, 0.0)
+        arc_base = Point(g.arc_x, 0.0)
+        # Baseline runway from the previous exit to the arc column, then
+        # the arc itself (always built: it is the cheapest way to serve
+        # the four arc pins).
+        if arc_base != entry:
+            edges.append((entry, arc_base))
+        edges.append((arc_base, tops[0]))
+        for a, b in zip(tops, tops[1:]):
+            edges.append((a, b))
+        if reuse:
+            drop = Point(tops[-1].x, 0.0)
+            edges.append((tops[-1], drop))
+            edges.append((drop, exit_pin))
+        else:
+            edges.append((arc_base, exit_pin))
+        entry = exit_pin
+    extra = [p for e in edges for p in e]
+    return RoutingTree.from_edges(net, edges, extra_points=extra)
+
+
+def all_combination_objectives(m: int, base: float = 8.0) -> List[Tuple[float, float]]:
+    """Objectives of all ``2^m`` witness trees."""
+    net = exponential_instance(m, base)
+    out = []
+    for mask in range(1 << m):
+        choices = [bool(mask >> i & 1) for i in range(m)]
+        tree = combination_tree(net, choices, base)
+        out.append(tree.objective())
+    return out
+
+
+def verify_antichain(objectives: Sequence[Tuple[float, float]]) -> bool:
+    """True when no objective weakly dominates another (all distinct and
+    mutually incomparable) — the frontier-size lower-bound witness."""
+    for i, a in enumerate(objectives):
+        for j, b in enumerate(objectives):
+            if i != j and a[0] <= b[0] and a[1] <= b[1]:
+                return False
+    return True

@@ -1,0 +1,26 @@
+"""Baseline routing-tree algorithms the paper compares against."""
+
+from .brute_force import brute_force_frontier
+from .dreyfus_wagner import rsmt_cost, steiner_min_tree
+from .prim_dijkstra import pd2, pd_sweep, prim_dijkstra
+from .rsma import rsma, rsma_delay
+from .rsmt import rsmt, rsmt_wirelength
+from .salt import salt, salt_sweep
+from .ysd import ysd, ysd_single
+
+__all__ = [
+    "brute_force_frontier",
+    "pd2",
+    "pd_sweep",
+    "prim_dijkstra",
+    "rsma",
+    "rsma_delay",
+    "rsmt",
+    "rsmt_cost",
+    "rsmt_wirelength",
+    "salt",
+    "salt_sweep",
+    "steiner_min_tree",
+    "ysd",
+    "ysd_single",
+]

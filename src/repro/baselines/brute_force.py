@@ -1,0 +1,103 @@
+"""Brute-force Pareto oracle for tiny nets (test reference, degree <= 4).
+
+Enumerates *every* candidate routing tree on the Hanan grid:
+
+* choose up to ``n - 2`` extra Steiner nodes among the non-pin grid nodes
+  (a rectilinear tree over ``n`` terminals never needs more branch points),
+* enumerate every labelled spanning tree of the chosen node set via
+  Prüfer sequences,
+* evaluate ``(w, d)`` of each and Pareto-filter.
+
+This is exponential twice over and only intended as an independent ground
+truth against which Pareto-DW is verified; it shares no code with the DP.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import List, Tuple
+
+from ..exceptions import DegreeTooLargeError
+from ..geometry.hanan import HananGrid
+from ..geometry.net import Net
+from ..geometry.point import Point, l1
+from ..core.pareto import pareto_filter
+
+MAX_ORACLE_DEGREE = 4
+
+
+def _prufer_trees(k: int):
+    """Yield parent-edge lists of all labelled trees on ``k`` nodes."""
+    if k == 1:
+        yield []
+        return
+    if k == 2:
+        yield [(0, 1)]
+        return
+    for seq in product(range(k), repeat=k - 2):
+        degree = [1] * k
+        for s in seq:
+            degree[s] += 1
+        edges: List[Tuple[int, int]] = []
+        ptr = 0
+        leaf = -1
+        # Standard linear-time Prüfer decode.
+        deg = list(degree)
+        import heapq
+
+        leaves = [i for i in range(k) if deg[i] == 1]
+        heapq.heapify(leaves)
+        for s in seq:
+            lf = heapq.heappop(leaves)
+            edges.append((lf, s))
+            deg[s] -= 1
+            if deg[s] == 1:
+                heapq.heappush(leaves, s)
+        u = heapq.heappop(leaves)
+        v = heapq.heappop(leaves)
+        edges.append((u, v))
+        yield edges
+
+
+def brute_force_frontier(net: Net) -> List[Tuple[float, float]]:
+    """The exact ``(w, d)`` Pareto frontier by exhaustive enumeration."""
+    n = net.degree
+    if n > MAX_ORACLE_DEGREE:
+        raise DegreeTooLargeError(n, MAX_ORACLE_DEGREE)
+    grid = HananGrid.of_net(net)
+    pins = list(net.pins)
+    pin_set = {(p.x, p.y) for p in pins}
+    candidates = [
+        grid.point(node)
+        for node in grid.nodes()
+        if (grid.point(node).x, grid.point(node).y) not in pin_set
+    ]
+    max_extra = max(0, n - 2)
+    solutions: List[Tuple[float, float, None]] = []
+    for extra_count in range(max_extra + 1):
+        for extras in combinations(candidates, extra_count):
+            nodes: List[Point] = pins + list(extras)
+            k = len(nodes)
+            # Precompute the distance matrix once per node set.
+            dmat = [[l1(a, b) for b in nodes] for a in nodes]
+            for edges in _prufer_trees(k):
+                w = 0.0
+                adj: List[List[int]] = [[] for _ in range(k)]
+                for a, b in edges:
+                    w += dmat[a][b]
+                    adj[a].append(b)
+                    adj[b].append(a)
+                # BFS path lengths from the source (node 0).
+                dist = [-1.0] * k
+                dist[0] = 0.0
+                stack = [0]
+                while stack:
+                    u = stack.pop()
+                    for v2 in adj[u]:
+                        if dist[v2] < 0:
+                            dist[v2] = dist[u] + dmat[u][v2]
+                            stack.append(v2)
+                d = max(dist[1:n])
+                solutions.append((w, d, None))
+        solutions = pareto_filter(solutions)
+    return [(w, d) for w, d, _ in pareto_filter(solutions)]

@@ -1,0 +1,132 @@
+"""Classic single-objective Dreyfus–Wagner on the Hanan grid.
+
+Computes an exact rectilinear Steiner *minimum* tree (RSMT) for small pin
+sets. This is the exact oracle behind the FLUTE-substitute RSMT engine and
+the wirelength normaliser ``w(FLUTE)`` of the paper's Figure 7; it is also
+the scalar specialisation of Pareto-DW and shares its state layout, which
+the tests exploit to cross-check both implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..exceptions import DegreeTooLargeError
+from ..geometry.hanan import GridNode, HananGrid
+from ..geometry.net import Net
+from ..routing.tree import RoutingTree
+
+DEFAULT_MAX_TERMINALS = 10
+
+# Backpointers mirror pareto_dw: ("leaf", node) / ("ext", u, v, p) / ("merge", p1, p2)
+
+
+def _collect_edges(payload: Any, out: Set[Tuple[GridNode, GridNode]]) -> None:
+    stack = [payload]
+    while stack:
+        p = stack.pop()
+        if p[0] == "leaf":
+            continue
+        if p[0] == "ext":
+            _, u, v, child = p
+            if u != v:
+                out.add((u, v))
+            stack.append(child)
+        else:
+            stack.append(p[1])
+            stack.append(p[2])
+
+
+def steiner_min_tree(net: Net, max_terminals: int = DEFAULT_MAX_TERMINALS) -> RoutingTree:
+    """Exact RSMT spanning all pins of ``net`` (root = source).
+
+    Raises :class:`DegreeTooLargeError` above ``max_terminals`` pins; use
+    :func:`repro.baselines.rsmt.rsmt` for larger nets.
+    """
+    n = net.degree
+    if n > max_terminals:
+        raise DegreeTooLargeError(n, max_terminals)
+
+    grid = HananGrid.of_net(net)
+    pin_nodes = grid.pin_nodes()
+    root_node = pin_nodes[0]
+    terms = pin_nodes[1:]
+    k = len(terms)
+    full = (1 << k) - 1
+    corner = set(grid.corner_nodes())
+    nodes = [v for v in grid.nodes() if v not in corner]
+    dist = grid.dist
+
+    # S[mask]: dict node -> (cost, payload)
+    S: List[Optional[Dict[GridNode, Tuple[float, Any]]]] = [None] * (full + 1)
+
+    def closure(merged: Dict[GridNode, Tuple[float, Any]]) -> Dict[GridNode, Tuple[float, Any]]:
+        out: Dict[GridNode, Tuple[float, Any]] = {}
+        items = list(merged.items())
+        for v in nodes:
+            best: Optional[Tuple[float, Any]] = None
+            for u, (c, p) in items:
+                if u == v:
+                    cand = (c, p)
+                else:
+                    cand = (c + dist(u, v), ("ext", u, v, p))
+                if best is None or cand[0] < best[0]:
+                    best = cand
+            if best is not None:
+                out[v] = best
+        return out
+
+    for ti, t_node in enumerate(terms):
+        S[1 << ti] = closure({t_node: (0.0, ("leaf", t_node))})
+
+    masks_by_size: List[List[int]] = [[] for _ in range(k + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[bin(mask).count("1")].append(mask)
+
+    for size in range(2, k + 1):
+        for mask in masks_by_size[size]:
+            bits = [i for i in range(k) if mask >> i & 1]
+            ixs = [terms[i][0] for i in bits]
+            iys = [terms[i][1] for i in bits]
+            bxlo, bxhi, bylo, byhi = min(ixs), max(ixs), min(iys), max(iys)
+            low = 1 << bits[0]
+            rest = mask & ~low
+            merged: Dict[GridNode, Tuple[float, Any]] = {}
+            for v in nodes:
+                ix, iy = v
+                if not (bxlo <= ix <= bxhi and bylo <= iy <= byhi):
+                    continue
+                best: Optional[Tuple[float, Any]] = None
+                sub = rest
+                while True:
+                    q1 = sub | low
+                    if q1 != mask:
+                        q2 = mask ^ q1
+                        a = S[q1].get(v) if S[q1] else None
+                        b = S[q2].get(v) if S[q2] else None
+                        if a and b:
+                            cand = (a[0] + b[0], ("merge", a[1], b[1]))
+                            if best is None or cand[0] < best[0]:
+                                best = cand
+                    if sub == 0:
+                        break
+                    sub = (sub - 1) & rest
+                if best is not None:
+                    merged[v] = best
+            S[mask] = closure(merged)
+
+    cost, payload = S[full][root_node]
+    node_edges: Set[Tuple[GridNode, GridNode]] = set()
+    _collect_edges(payload, node_edges)
+    pt = grid.point
+    edges = [(pt(a), pt(b)) for a, b in node_edges]
+    if not edges:
+        edges = [(net.source, s) for s in net.sinks]
+    referenced = {p for e in edges for p in e}
+    tree = RoutingTree.from_edges(net, edges, extra_points=list(referenced))
+    return tree
+
+
+def rsmt_cost(net: Net, max_terminals: int = DEFAULT_MAX_TERMINALS) -> float:
+    """Exact RSMT wirelength of a small net."""
+    return steiner_min_tree(net, max_terminals=max_terminals).wirelength()

@@ -1,0 +1,101 @@
+"""Córdova–Lee rectilinear Steiner minimum arborescence (RSMA) heuristic.
+
+An *arborescence* wires every sink along a shortest (monotone) path from
+the source, so its delay equals the L1 lower bound ``max_i ||r - p_i||``;
+the game is to share wire between those paths. The CL heuristic is the
+standard 2-approximation: among the current node set (one quadrant at a
+time), repeatedly merge the pair whose *meeting point* — the farthest
+point dominated by both — is farthest from the source, replacing the pair
+by the meeting point.
+
+This supplies the delay normaliser ``d(CL)`` of the paper's Figure 7 (the
+purple circle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..geometry.net import Net
+from ..geometry.point import Point
+from ..routing.tree import RoutingTree
+
+
+def _merge_quadrant(
+    source: Point, sinks: List[Point], sx: int, sy: int
+) -> List[Tuple[Point, Point]]:
+    """CL merge loop for one quadrant.
+
+    ``sx, sy`` in {+1, -1} orient the quadrant; work happens in the
+    transformed frame where all sinks dominate the source (first quadrant).
+    """
+    if not sinks:
+        return []
+
+    def meet(p: Point, q: Point) -> Point:
+        """The farthest point dominated by both, towards the source.
+
+        Working directly in original coordinates (no transform round-trip,
+        which would not be float-exact): the quadrant orientation decides
+        whether min or max is "closer to the source" per axis.
+        """
+        mx = min(p.x, q.x) if sx > 0 else max(p.x, q.x)
+        my = min(p.y, q.y) if sy > 0 else max(p.y, q.y)
+        return Point(mx, my)
+
+    def score(p: Point) -> float:
+        """Distance of a dominated point from the source (to maximise)."""
+        return sx * (p.x - source.x) + sy * (p.y - source.y)
+
+    active = list(sinks)
+    edges: List[Tuple[Point, Point]] = []
+    while len(active) > 1:
+        best = None
+        for i in range(len(active)):
+            for j in range(i + 1, len(active)):
+                m = meet(active[i], active[j])
+                s = score(m)
+                if best is None or s > best[0]:
+                    best = (s, i, j, m)
+        _, i, j, m = best
+        for k in (i, j):
+            if active[k] != m:
+                edges.append((m, active[k]))
+        # Replace the pair (remove j first: j > i).
+        active.pop(j)
+        active.pop(i)
+        active.append(m)
+    last = active[0]
+    if last != source:
+        edges.append((source, last))
+    return edges
+
+
+def rsma(net: Net) -> RoutingTree:
+    """CL arborescence for ``net``: shortest paths to every sink, shared wire.
+
+    Sinks are split into the four quadrants around the source (boundary
+    sinks go to the lexicographically first matching quadrant) and merged
+    per quadrant.
+    """
+    src = net.source
+    quadrants: List[List[Point]] = [[], [], [], []]
+    orientations = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+    for s in net.sinks:
+        dx, dy = s.x - src.x, s.y - src.y
+        for qi, (ox, oy) in enumerate(orientations):
+            if dx * ox >= 0 and dy * oy >= 0:
+                quadrants[qi].append(s)
+                break
+    edges: List[Tuple[Point, Point]] = []
+    for (ox, oy), sinks in zip(orientations, quadrants):
+        edges.extend(_merge_quadrant(src, sinks, ox, oy))
+    if not edges:
+        edges = [(src, s) for s in net.sinks]
+    extra = [p for e in edges for p in e]
+    return RoutingTree.from_edges(net, edges, extra_points=extra)
+
+
+def rsma_delay(net: Net) -> float:
+    """Delay of the CL tree — always the L1 lower bound (Fig. 7's d(CL))."""
+    return rsma(net).delay()

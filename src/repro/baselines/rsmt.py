@@ -1,0 +1,126 @@
+"""FLUTE-substitute RSMT engine: exact for small nets, divide-and-conquer above.
+
+FLUTE itself is "lookup-table exact below degree 9, recursive net breaking
+above"; this module honours the same contract with pure-Python machinery:
+
+* ``degree <= exact_limit`` — exact Hanan-grid Dreyfus–Wagner,
+* larger nets — Kalpakis–Sherman-style median splitting down to exact base
+  cases, tree union at the shared split pin, then a reattachment refinement
+  pass that removes most of the splitting artefacts.
+
+The engine provides PatLabor's seed tree (step 1 of the local search) and
+the ``w(FLUTE)`` normalisation of Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..geometry.net import Net
+from ..geometry.point import Point, l1
+from ..routing.attach import TreeBuilder, grow_from_source
+from ..routing.tree import RoutingTree
+from .dreyfus_wagner import steiner_min_tree
+
+DEFAULT_EXACT_LIMIT = 8
+
+
+def rsmt(net: Net, exact_limit: int = DEFAULT_EXACT_LIMIT, refine_passes: int = 2) -> RoutingTree:
+    """A low-wirelength rectilinear Steiner tree for ``net``.
+
+    Exact for ``net.degree <= exact_limit``; a refined divide-and-conquer
+    heuristic above (typically within a few percent of optimal).
+    """
+    if net.degree <= exact_limit:
+        return steiner_min_tree(net, max_terminals=exact_limit)
+    points = list(net.pins)
+    edges = _dc_edges(points, axis=0, exact_limit=exact_limit)
+    tree = RoutingTree.from_edges(net, edges)
+    for _ in range(refine_passes):
+        improved, tree = refine_wirelength(tree)
+        if not improved:
+            break
+    return tree
+
+
+def _dc_edges(
+    points: List[Point], axis: int, exact_limit: int
+) -> List[Tuple[Point, Point]]:
+    """Edge set of a Steiner tree over ``points`` by median splitting."""
+    if len(points) <= exact_limit:
+        sub = Net.from_points(points[0], points[1:], name="rsmt/base")
+        t = steiner_min_tree(sub, max_terminals=exact_limit)
+        return [
+            (t.points[i], t.points[p])
+            for i, p in t.edges()
+            if t.points[i] != t.points[p]
+        ]
+    ordered = sorted(points, key=lambda p: (p[axis], p[1 - axis]))
+    k = len(ordered) // 2
+    left = ordered[: k + 1]
+    right = ordered[k:]
+    return _dc_edges(left, 1 - axis, exact_limit) + _dc_edges(
+        right, 1 - axis, exact_limit
+    )
+
+
+def reattach_leaf(tree: RoutingTree, leaf: int) -> Optional[RoutingTree]:
+    """Detach leaf pin ``leaf`` and re-insert it at its cheapest connection.
+
+    Returns the improved tree, or ``None`` when no strict improvement
+    exists. The leaf must be a pin with no children.
+    """
+    net = tree.net
+    old_cost = tree.edge_length(leaf)
+    compact = tree.compacted()
+    # Work on the compacted tree: find the leaf there by coordinates.
+    target = compact.points[:compact.net.degree].index(tree.points[leaf])
+    if any(p == target for p in compact.parent):
+        return None  # not a leaf after compaction (it became a through node)
+    builder = TreeBuilder(compact.points[0])
+    # Seed the builder with every edge except the leaf's own, in topological
+    # order so parents exist before children.
+    index_map = {0: 0}
+    for u in compact.topological_order():
+        p = compact.parent[u]
+        if p < 0 or u == target:
+            continue
+        index_map[u] = builder.attach_to_node(compact.points[u], index_map[p])
+    cost, _, _, _ = builder.best_connection(compact.points[target])
+    if cost >= old_cost - 1e-12:
+        return None
+    builder.attach(compact.points[target])
+    return builder.finish(net).compacted()
+
+
+def refine_wirelength(tree: RoutingTree) -> Tuple[bool, RoutingTree]:
+    """One refinement pass: leaf reattachment plus a greedy rebuild probe.
+
+    Detaches each leaf pin and re-inserts it at its cheapest Steiner
+    connection, which removes most divide-and-conquer splitting artefacts;
+    also probes a full greedy regrowth and keeps whichever tree is
+    lightest.
+    """
+    net = tree.net
+    best = tree
+    improved = False
+    for leaf in range(1, net.degree):
+        if any(p == leaf for p in best.parent):
+            continue  # pin has children; moving it would move its subtree
+        candidate = reattach_leaf(best, leaf)
+        if candidate is not None and candidate.wirelength() < best.wirelength() - 1e-12:
+            best = candidate
+            improved = True
+    order = sorted(
+        range(len(net.sinks)), key=lambda i: l1(net.source, net.sinks[i])
+    )
+    rebuilt = grow_from_source(net, order=order)
+    if rebuilt.wirelength() < best.wirelength() - 1e-12:
+        best = rebuilt
+        improved = True
+    return improved, best
+
+
+def rsmt_wirelength(net: Net, exact_limit: int = DEFAULT_EXACT_LIMIT) -> float:
+    """Wirelength of the engine's tree (Fig. 7's ``w(FLUTE)`` reference)."""
+    return rsmt(net, exact_limit=exact_limit).wirelength()

@@ -1,0 +1,173 @@
+"""YSD-substitute: learned weighted-sum routing, modelled as a greedy
+weighted constructor (convex-curve method).
+
+Yang, Sun & Ding (ICCAD 2023) train a neural network that, for each
+weighted-sum parameter ``alpha``, predicts a routing topology minimising
+``alpha * w + (1 - alpha) * d``; large nets use a divide-and-conquer
+framework. The released code is incomplete (the PatLabor paper notes it
+reimplemented parts) and no GPU stack exists offline, so this module
+substitutes a stand-in that preserves both behaviours the paper measures:
+
+* every output minimises a **linear scalarisation**, so the method can
+  only reach points on the convex hull of the Pareto frontier — the
+  structural weakness Fig. 7 highlights;
+* the per-alpha minimisation is **approximate** (a greedy blended-key
+  construction plus weighted refinement stands in for the trained
+  predictor, which is likewise an imperfect optimiser), so the method
+  misses frontier points on harder small nets — the behaviour behind
+  Table III's non-zero non-optimality ratios.
+
+Large nets use the same divide-and-conquer framework as the original
+(median splits, one best-weighted tree per sub-problem), which inherits
+YSD's documented weakness for wirelength minimisation on degree-100 nets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.pareto import Solution, clean_front
+from ..geometry.net import Net
+from ..geometry.point import Point, l1
+from ..routing.attach import TreeBuilder
+from ..routing.refine import apply_reattachment, best_reattachment
+from ..routing.tree import RoutingTree
+
+DEFAULT_WEIGHTS: Sequence[float] = (
+    0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+#: Above this degree the divide-and-conquer framework takes over.
+SMALL_DEGREE_LIMIT = 9
+
+
+def _scales(net: Net) -> Tuple[float, float]:
+    return (max(net.star_wirelength(), 1e-9), max(net.delay_lower_bound(), 1e-9))
+
+
+def weighted_objective(
+    w: float, d: float, alpha: float, scales: Tuple[float, float]
+) -> float:
+    """The scalarised cost ``alpha*w/ws + (1-alpha)*d/ds``."""
+    return alpha * w / scales[0] + (1.0 - alpha) * d / scales[1]
+
+
+def weighted_construct(net: Net, alpha: float, scales: Tuple[float, float]) -> RoutingTree:
+    """Greedy blended-key Steiner growth for one scalarisation.
+
+    At each step the remaining sink with the cheapest blended attachment
+    (``alpha``-weighted wirelength increment + ``(1-alpha)``-weighted
+    arrival time) is attached at its best Steiner connection. This is the
+    stand-in for YSD's neural topology predictor.
+    """
+    builder = TreeBuilder(net.source)
+    arrivals = {0: 0.0}
+    pending = dict(enumerate(net.sinks))
+    while pending:
+        best_key = None
+        best_sink = None
+        for i, s in pending.items():
+            cost, node, split_child, at = builder.best_connection(s)
+            if split_child is not None:
+                # Arrival through the split edge's parent side.
+                parent = builder.parent[split_child]
+                base = arrivals[parent] + l1(builder.points[parent], at)
+            else:
+                base = arrivals[node]
+            arrival = base + cost
+            key = alpha * cost / scales[0] + (1.0 - alpha) * arrival / scales[1]
+            if best_key is None or key < best_key:
+                best_key = key
+                best_sink = (i, arrival)
+        i, arrival = best_sink
+        idx = builder.attach(pending.pop(i))
+        # Refresh arrival bookkeeping for any nodes added by the attach.
+        _recompute_arrivals(builder, arrivals)
+    return builder.finish(net)
+
+
+def _recompute_arrivals(builder: TreeBuilder, arrivals: dict) -> None:
+    for idx in range(len(builder.points)):
+        if idx in arrivals:
+            continue
+        p = builder.parent[idx]
+        # Parents always precede children in the builder's append order.
+        arrivals[idx] = arrivals[p] + l1(builder.points[p], builder.points[idx])
+
+
+def weighted_refine(
+    tree: RoutingTree, alpha: float, scales: Tuple[float, float],
+    max_passes: int = 3,
+) -> RoutingTree:
+    """Hill-climb reattachments on the scalarised objective."""
+    work = tree.copy()
+    for _ in range(max_passes):
+        improved = False
+        pls = work.path_lengths()
+        current = weighted_objective(*work.objective(), alpha, scales)
+        for v in range(1, len(work.points)):
+            cand = best_reattachment(work, v, pls, require_cheaper=False)
+            if cand is None:
+                continue
+            _, _, node, split_child, at = cand
+            snapshot = (list(work.points), list(work.parent))
+            apply_reattachment(work, v, node, split_child, at)
+            new = weighted_objective(*work.objective(), alpha, scales)
+            if new < current - 1e-12:
+                current = new
+                improved = True
+                pls = work.path_lengths()
+            else:
+                work.points, work.parent = snapshot
+                work._invalidate()
+        if not improved:
+            break
+    return work.compacted()
+
+
+def ysd_single(net: Net, alpha: float) -> RoutingTree:
+    """One YSD-substitute tree for one scalarisation weight."""
+    scales = _scales(net)
+    if net.degree <= SMALL_DEGREE_LIMIT:
+        tree = weighted_construct(net, alpha, scales)
+        return weighted_refine(tree, alpha, scales)
+    edges = _dc_edges(list(net.pins), net.source, alpha, 0)
+    tree = RoutingTree.from_edges(net, edges)
+    return weighted_refine(tree, alpha, scales, max_passes=1)
+
+
+def _dc_edges(
+    points: List[Point], source: Point, alpha: float, axis: int
+) -> List[Tuple[Point, Point]]:
+    """Divide-and-conquer: one best-weighted tree's edges per subset."""
+    root_idx = min(range(len(points)), key=lambda i: l1(points[i], source))
+    sub = Net.from_points(
+        points[root_idx], [p for i, p in enumerate(points) if i != root_idx]
+    )
+    if len(points) <= SMALL_DEGREE_LIMIT:
+        scales = _scales(sub)
+        t = weighted_refine(weighted_construct(sub, alpha, scales), alpha, scales)
+        return [
+            (t.points[i], t.points[p])
+            for i, p in t.edges()
+            if t.points[i] != t.points[p]
+        ]
+    ordered = sorted(points, key=lambda p: (p[axis], p[1 - axis]))
+    k = len(ordered) // 2
+    return _dc_edges(ordered[: k + 1], source, alpha, 1 - axis) + _dc_edges(
+        ordered[k:], source, alpha, 1 - axis
+    )
+
+
+def ysd(net: Net, weights: Sequence[float] = DEFAULT_WEIGHTS) -> List[Solution]:
+    """The YSD-substitute's Pareto set for ``net``.
+
+    One tree per scalarisation weight, Pareto-filtered. Only convex-hull
+    frontier points are reachable even in the best case.
+    """
+    solutions: List[Solution] = []
+    for alpha in weights:
+        t = ysd_single(net, alpha)
+        w, d = t.objective()
+        solutions.append((w, d, t))
+    return clean_front(solutions)

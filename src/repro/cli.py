@@ -1,0 +1,193 @@
+"""Command-line interface: ``patlabor <command>``.
+
+Commands
+--------
+route       Route nets from a ``.nets`` file (or a generated random net)
+            with PatLabor and print each net's Pareto set.
+gen-lut     Generate lookup tables for given degrees and save to JSON.
+gen-nets    Generate a synthetic ICCAD-15-like workload into a ``.nets`` file.
+compare     Run PatLabor vs SALT vs YSD on a net file and print
+            Table III / Table IV style summaries.
+draw        Render a net's Pareto-optimal trees to SVG files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .core.patlabor import PatLabor, PatLaborConfig
+from .geometry.net import Net, random_net
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .io.nets_format import load_nets
+    from .viz.ascii_art import front_summary
+
+    if args.nets:
+        nets = load_nets(args.nets)
+    else:
+        rng = random.Random(args.seed)
+        nets = [random_net(args.degree, rng=rng, name="random")]
+    lut = None
+    if args.lut:
+        from .io.lut_io import load_lut
+
+        lut = load_lut(args.lut)
+    router = PatLabor(lut=lut, config=PatLaborConfig(lam=args.lam))
+    for net in nets:
+        front = router.route(net)
+        print(f"{net.name or 'net'} (degree {net.degree}): "
+              f"{len(front)} Pareto solution(s)")
+        print(front_summary(front))
+    return 0
+
+
+def _cmd_gen_lut(args: argparse.Namespace) -> int:
+    from .io.lut_io import save_lut
+    from .lut.table import LookupTable
+
+    degrees = [int(d) for d in args.degrees.split(",")]
+    if args.jobs and args.jobs > 1:
+        from .lut.generator import generate_degree_parallel
+
+        table = LookupTable()
+        table.prune_mode = args.prune
+        for n in degrees:
+            import time as _time
+
+            t0 = _time.perf_counter()
+            raw = generate_degree_parallel(
+                n, jobs=args.jobs, prune_mode=args.prune, limit=args.limit
+            )
+            table._ingest(n, raw)
+            table.stats[n].build_seconds = _time.perf_counter() - t0
+            table.stats[n].sampled = args.limit is not None
+    else:
+        table = LookupTable.build(
+            degrees=degrees,
+            prune_mode=args.prune,
+            limit_per_degree=args.limit,
+        )
+    save_lut(table, args.output)
+    for n, st in sorted(table.stats.items()):
+        print(
+            f"degree {n}: #Index={st.num_index} "
+            f"avg #Topo={st.avg_topologies:.2f} "
+            f"({st.build_seconds:.1f}s{', sampled' if st.sampled else ''})"
+        )
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_gen_nets(args: argparse.Namespace) -> int:
+    from .eval.benchmarks import Iccad15LikeSuite
+    from .io.nets_format import save_nets
+
+    suite = Iccad15LikeSuite(seed=args.seed)
+    nets: List[Net] = []
+    if args.large:
+        nets.extend(suite.large_nets(count=args.count))
+    else:
+        by_degree = suite.small_nets(per_degree=max(1, args.count // 6))
+        for group in by_degree.values():
+            nets.extend(group)
+        nets = nets[: args.count]
+    written = save_nets(nets, args.output)
+    print(f"wrote {written} nets to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .eval.metrics import table3, table4
+    from .eval.reporting import render_table3, render_table4
+    from .eval.runner import compare_on_nets
+    from .io.nets_format import load_nets
+
+    nets = load_nets(args.nets)
+    small = [n for n in nets if n.degree <= args.exact_limit]
+    if not small:
+        print("no nets small enough for exact comparison", file=sys.stderr)
+        return 1
+    rows = compare_on_nets(small)
+    print(render_table3(table3(rows)))
+    print()
+    print(render_table4(table4(rows)))
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    from .io.nets_format import load_nets
+    from .viz.svg import pareto_curve_svg, save_svg, tree_svg
+
+    nets = load_nets(args.nets)
+    router = PatLabor()
+    net = nets[args.index]
+    front = router.route(net)
+    save_svg(
+        pareto_curve_svg([("PatLabor", front)], title=f"{net.name} Pareto"),
+        f"{args.prefix}_curve.svg",
+    )
+    for i, (w, d, tree) in enumerate(front):
+        save_svg(
+            tree_svg(tree, title=f"w={w:.0f} d={d:.0f}"),
+            f"{args.prefix}_tree{i}.svg",
+        )
+    print(f"wrote {len(front) + 1} SVG file(s) with prefix {args.prefix!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="patlabor",
+        description="Pareto optimization of timing-driven routing trees",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("route", help="route nets and print Pareto sets")
+    p.add_argument("--nets", help=".nets input file")
+    p.add_argument("--degree", type=int, default=12, help="random net degree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--lam", type=int, default=9, help="PatLabor lambda")
+    p.add_argument("--lut", help="lookup-table JSON file")
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("gen-lut", help="generate lookup tables")
+    p.add_argument("--degrees", default="4,5", help="comma-separated degrees")
+    p.add_argument("--prune", default="componentwise", choices=["componentwise", "lp"])
+    p.add_argument("--limit", type=int, default=None, help="patterns per degree")
+    p.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    p.add_argument("--output", "-o", default="patlabor_lut.json")
+    p.set_defaults(func=_cmd_gen_lut)
+
+    p = sub.add_parser("gen-nets", help="generate a synthetic workload")
+    p.add_argument("--count", type=int, default=60)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--large", action="store_true", help="degree 10-50 nets")
+    p.add_argument("--output", "-o", default="workload.nets")
+    p.set_defaults(func=_cmd_gen_nets)
+
+    p = sub.add_parser("compare", help="compare PatLabor / SALT / YSD")
+    p.add_argument("nets", help=".nets input file")
+    p.add_argument("--exact-limit", type=int, default=9)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("draw", help="render Pareto trees to SVG")
+    p.add_argument("nets", help=".nets input file")
+    p.add_argument("--index", type=int, default=0, help="net index in the file")
+    p.add_argument("--prefix", default="patlabor")
+    p.set_defaults(func=_cmd_draw)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``patlabor`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

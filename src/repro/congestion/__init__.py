@@ -1,0 +1,33 @@
+"""Congestion extension: the paper's future-work metric, implemented.
+
+Tri-objective (wirelength, delay, congestion) Pareto optimisation —
+exact for small nets, embedding-optimised annotation for any net.
+"""
+
+from .model import CongestionMap
+from .pareto3 import (
+    Solution3,
+    dominates3,
+    is_pareto_front3,
+    pareto_filter3,
+    project_wd,
+    weakly_dominates3,
+)
+from .router import (
+    congestion_annotated_front,
+    embed_min_congestion,
+    pareto_dw3,
+)
+
+__all__ = [
+    "CongestionMap",
+    "Solution3",
+    "congestion_annotated_front",
+    "dominates3",
+    "embed_min_congestion",
+    "is_pareto_front3",
+    "pareto_dw3",
+    "pareto_filter3",
+    "project_wd",
+    "weakly_dominates3",
+]

@@ -1,0 +1,202 @@
+"""Congestion model: a weighted grid over the routing region.
+
+The paper's conclusion names congestion as the first future-work metric.
+This extension models it the way global routers do: the region is divided
+into uniform g-cells, each carrying a congestion weight (demand/capacity
+ratio, hot-spot penalty, ...). The congestion cost of a wire is the
+weight-integrated length of its embedding:
+
+    cost(segment) = sum over crossed cells of (length inside cell * weight)
+
+Unlike wirelength and delay, congestion depends on *which* L-shape embeds
+an edge — that freedom is exploited by
+:func:`repro.congestion.router.embed_min_congestion`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..geometry.point import PointLike
+from ..routing.embedding import Segment, embed_edge
+
+
+@dataclass
+class CongestionMap:
+    """Per-cell congestion weights on a uniform grid.
+
+    Attributes
+    ----------
+    xlo, ylo:
+        Lower-left corner of the covered region.
+    cell:
+        Cell edge length (> 0).
+    weights:
+        ``weights[ix][iy]`` — the congestion weight of cell ``(ix, iy)``.
+        Points outside the covered region use ``outside_weight``.
+    """
+
+    xlo: float
+    ylo: float
+    cell: float
+    weights: List[List[float]]
+    outside_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cell <= 0:
+            raise ValueError(f"cell size must be positive, got {self.cell}")
+        if not self.weights or not self.weights[0]:
+            raise ValueError("congestion map needs at least one cell")
+
+    @property
+    def nx(self) -> int:
+        return len(self.weights)
+
+    @property
+    def ny(self) -> int:
+        return len(self.weights[0])
+
+    @classmethod
+    def uniform(
+        cls, xlo: float, ylo: float, xhi: float, yhi: float,
+        nx: int, ny: int, weight: float = 1.0,
+    ) -> "CongestionMap":
+        """A constant-weight map covering ``[xlo, xhi] x [ylo, yhi]``.
+
+        The cell size derives from the x-extent; the grid is ``nx x ny``.
+        """
+        cell = (xhi - xlo) / nx
+        if abs((yhi - ylo) / ny - cell) > 1e-9:
+            raise ValueError("uniform map requires square cells")
+        return cls(
+            xlo=xlo, ylo=ylo, cell=cell,
+            weights=[[weight] * ny for _ in range(nx)],
+        )
+
+    @classmethod
+    def random_hotspots(
+        cls, xlo: float, ylo: float, span: float, cells: int,
+        hotspots: int = 3, hot_weight: float = 8.0,
+        rng: Optional[random.Random] = None,
+    ) -> "CongestionMap":
+        """A base-weight-1 map with a few square hot regions."""
+        rng = rng or random.Random()
+        cmap = cls.uniform(xlo, ylo, xlo + span, ylo + span, cells, cells)
+        for _ in range(hotspots):
+            cx = rng.randrange(cells)
+            cy = rng.randrange(cells)
+            radius = rng.randint(0, max(1, cells // 6))
+            for ix in range(max(0, cx - radius), min(cells, cx + radius + 1)):
+                for iy in range(max(0, cy - radius), min(cells, cy + radius + 1)):
+                    cmap.weights[ix][iy] = hot_weight
+        return cmap
+
+    # --------------------------------------------------------------- costs
+
+    def weight_at(self, ix: int, iy: int) -> float:
+        if 0 <= ix < self.nx and 0 <= iy < self.ny:
+            return self.weights[ix][iy]
+        return self.outside_weight
+
+    def _axis_cost(self, fixed: float, lo: float, hi: float, horizontal: bool) -> float:
+        """Weight-integrated length of an axis-parallel run."""
+        if hi <= lo:
+            return 0.0
+        cost = 0.0
+        if horizontal:
+            iy = int((fixed - self.ylo) // self.cell)
+            start = lo
+            while start < hi - 1e-12:
+                ix = int((start - self.xlo) // self.cell)
+                cell_end = self.xlo + (ix + 1) * self.cell
+                end = min(hi, cell_end)
+                if end <= start:  # numeric guard at cell boundaries
+                    end = min(hi, start + self.cell)
+                cost += (end - start) * self.weight_at(ix, iy)
+                start = end
+        else:
+            ix = int((fixed - self.xlo) // self.cell)
+            start = lo
+            while start < hi - 1e-12:
+                iy = int((start - self.ylo) // self.cell)
+                cell_end = self.ylo + (iy + 1) * self.cell
+                end = min(hi, cell_end)
+                if end <= start:
+                    end = min(hi, start + self.cell)
+                cost += (end - start) * self.weight_at(ix, iy)
+                start = end
+        return cost
+
+    def segment_cells(self, seg: Segment) -> List[Tuple[Tuple[int, int], float]]:
+        """Cells a segment crosses, with the length inside each.
+
+        Cells outside the covered region are reported with clamped indices
+        ``(-1, -1)``-style coordinates produced by floor division; callers
+        accumulating demand should ignore out-of-range indices.
+        """
+        out: List[Tuple[Tuple[int, int], float]] = []
+        if seg.is_horizontal:
+            lo, hi = sorted((seg.a.x, seg.b.x))
+            iy = int((seg.a.y - self.ylo) // self.cell)
+            start = lo
+            while start < hi - 1e-12:
+                ix = int((start - self.xlo) // self.cell)
+                end = min(hi, self.xlo + (ix + 1) * self.cell)
+                if end <= start:
+                    end = min(hi, start + self.cell)
+                out.append(((ix, iy), end - start))
+                start = end
+        else:
+            lo, hi = sorted((seg.a.y, seg.b.y))
+            ix = int((seg.a.x - self.xlo) // self.cell)
+            start = lo
+            while start < hi - 1e-12:
+                iy = int((start - self.ylo) // self.cell)
+                end = min(hi, self.ylo + (iy + 1) * self.cell)
+                if end <= start:
+                    end = min(hi, start + self.cell)
+                out.append(((ix, iy), end - start))
+                start = end
+        return out
+
+    def deposit(self, seg: Segment, scale: float = 1.0) -> None:
+        """Accumulate ``length * scale`` into every crossed in-range cell
+        (demand tracking for sequential routing flows)."""
+        for (ix, iy), length in self.segment_cells(seg):
+            if 0 <= ix < self.nx and 0 <= iy < self.ny:
+                self.weights[ix][iy] += length * scale
+
+    def segment_cost(self, seg: Segment) -> float:
+        """Weight-integrated length of one axis-parallel segment."""
+        if seg.is_horizontal:
+            lo, hi = sorted((seg.a.x, seg.b.x))
+            return self._axis_cost(seg.a.y, lo, hi, horizontal=True)
+        lo, hi = sorted((seg.a.y, seg.b.y))
+        return self._axis_cost(seg.a.x, lo, hi, horizontal=False)
+
+    def edge_cost(self, a: PointLike, b: PointLike, lower_l: bool = True) -> float:
+        """Cost of one tree edge under a fixed L-shape convention."""
+        return sum(self.segment_cost(s) for s in embed_edge(a, b, lower_l))
+
+    def best_edge_cost(self, a: PointLike, b: PointLike) -> Tuple[float, bool]:
+        """Cheaper of the two L embeddings: ``(cost, lower_l_flag)``."""
+        lo = self.edge_cost(a, b, lower_l=True)
+        hi = self.edge_cost(a, b, lower_l=False)
+        return (lo, True) if lo <= hi else (hi, False)
+
+    def tree_cost(self, tree, per_edge_choice: bool = True) -> float:
+        """Congestion cost of a whole tree.
+
+        With ``per_edge_choice`` each edge independently takes its cheaper
+        L embedding (legal: the objectives w/d are embedding-invariant).
+        """
+        total = 0.0
+        for child, parent in tree.edges():
+            a, b = tree.points[parent], tree.points[child]
+            if per_edge_choice:
+                total += self.best_edge_cost(a, b)[0]
+            else:
+                total += self.edge_cost(a, b)
+        return total

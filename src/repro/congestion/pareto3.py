@@ -1,0 +1,72 @@
+"""Tri-objective Pareto machinery for (wirelength, delay, congestion).
+
+Generalises the planar sweep of :mod:`repro.core.pareto` to three
+minimisation objectives. Fronts stay small for routing instances, so the
+filter is a simple O(k²) scan (the 2-D sort trick does not carry over).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+Objective3 = Tuple[float, float, float]
+Solution3 = Tuple[float, float, float, Any]
+
+
+def dominates3(a: Objective3, b: Objective3) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` in all three objectives."""
+    return (
+        a[0] <= b[0]
+        and a[1] <= b[1]
+        and a[2] <= b[2]
+        and (a[0] < b[0] or a[1] < b[1] or a[2] < b[2])
+    )
+
+
+def weakly_dominates3(a: Objective3, b: Objective3) -> bool:
+    return a[0] <= b[0] and a[1] <= b[1] and a[2] <= b[2]
+
+
+def pareto_filter3(solutions: Iterable[Solution3]) -> List[Solution3]:
+    """Non-dominated subset (first-seen kept among exact duplicates),
+    sorted lexicographically."""
+    items = sorted(set_free(solutions), key=lambda s: (s[0], s[1], s[2]))
+    kept: List[Solution3] = []
+    for s in items:
+        obj = (s[0], s[1], s[2])
+        if any(weakly_dominates3((k[0], k[1], k[2]), obj) for k in kept):
+            continue
+        kept = [
+            k for k in kept if not weakly_dominates3(obj, (k[0], k[1], k[2]))
+        ]
+        kept.append(s)
+    kept.sort(key=lambda s: (s[0], s[1], s[2]))
+    return kept
+
+
+def set_free(solutions: Iterable[Solution3]) -> List[Solution3]:
+    """Drop exact objective duplicates, keeping the first payload."""
+    seen = {}
+    for s in solutions:
+        seen.setdefault((s[0], s[1], s[2]), s)
+    return list(seen.values())
+
+
+def is_pareto_front3(solutions: Sequence[Solution3]) -> bool:
+    objs = [(s[0], s[1], s[2]) for s in solutions]
+    for i, a in enumerate(objs):
+        for j, b in enumerate(objs):
+            if i != j and weakly_dominates3(a, b):
+                return False
+    return True
+
+
+def project_wd(solutions: Sequence[Solution3]) -> List[Tuple[float, float, Any]]:
+    """Project a 3-D front onto (w, d) and 2-D-filter it.
+
+    Uses the tolerance-aware filter: distinct 3-D solutions may share
+    mathematically equal (w, d) up to summation noise.
+    """
+    from ..core.pareto import clean_front
+
+    return clean_front([(w, d, p) for (w, d, _c, p) in solutions])

@@ -1,0 +1,93 @@
+"""Routing-result cache with translation invariance.
+
+VLSI designs repeat cell patterns, so many nets are exact translates of
+one another. Both objectives are translation-invariant, so the cache keys
+nets on their source-relative pin coordinates and serves cache hits by
+rigidly translating the stored trees back to the query position.
+
+Wraps any router exposing ``route(net) -> [(w, d, tree), ...]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.pareto import Solution
+from ..geometry.net import Net
+from ..geometry.point import Point
+from ..routing.tree import RoutingTree
+
+CacheKey = Tuple[Tuple[float, float], ...]
+
+
+def translation_key(net: Net) -> CacheKey:
+    """Source-relative pin coordinates — equal for rigid translates.
+
+    Relative coordinates are rounded to 1e-6 so that floating-point noise
+    from the subtraction does not split keys; nets whose geometries agree
+    only to within 1e-6 therefore share an entry (document this if your
+    coordinates are finer than micro-units).
+    """
+    x0, y0 = net.source
+    return tuple(
+        (round(p.x - x0, 6), round(p.y - y0, 6)) for p in net.pins
+    )
+
+
+def _translate_tree(tree: RoutingTree, net: Net, dx: float, dy: float) -> RoutingTree:
+    points = [Point(p.x + dx, p.y + dy) for p in tree.points]
+    return RoutingTree.from_parent(net, points, list(tree.parent))
+
+
+@dataclass
+class CachedRouter:
+    """Memoising wrapper around a Pareto router.
+
+    Attributes
+    ----------
+    router:
+        Any object with ``route(net)`` returning Pareto solutions.
+    max_entries:
+        Cache capacity; oldest entries are evicted FIFO beyond it.
+    """
+
+    router: object
+    max_entries: int = 100_000
+    _cache: Dict[CacheKey, Tuple[Net, List[Solution]]] = field(
+        default_factory=dict, repr=False
+    )
+    hits: int = 0
+    misses: int = 0
+
+    def route(self, net: Net) -> List[Solution]:
+        """Pareto set of ``net``, served from cache for exact translates."""
+        key = translation_key(net)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            base_net, solutions = cached
+            dx = net.source.x - base_net.source.x
+            dy = net.source.y - base_net.source.y
+            if dx == 0.0 and dy == 0.0 and base_net.key() == net.key():
+                return list(solutions)
+            return [
+                (w, d, _translate_tree(tree, net, dx, dy))
+                for w, d, tree in solutions
+            ]
+        self.misses += 1
+        solutions = self.router.route(net)
+        if len(self._cache) >= self.max_entries:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = (net, list(solutions))
+        return solutions
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,295 @@
+"""Pareto-DW: the exact Pareto-frontier dynamic program (paper, Section IV-A).
+
+Adapts Dreyfus–Wagner to bicriterion optimisation. The DP state
+``S[Q][v]`` is the Pareto frontier of subtrees rooted at Hanan-grid node
+``v`` spanning sink subset ``Q``, with delay measured *from v*. Transitions
+follow the paper's Equation (1):
+
+* **merge**     ``S[Q][v] ∋ S[Q1][v] ⊕ S[Q\\Q1][v]`` — join two subtrees at v,
+* **extension** ``S[Q][v] ∋ S[Q][u] + ||u - v||_1`` — re-root along an edge.
+
+Because L1 extension is a metric (two hops are dominated by the direct
+hop), a single all-pairs closure round per subset suffices; no iterative
+relaxation is needed.
+
+Pruning (paper, Section V-A):
+
+* **Lemma 2** — empty-quadrant corner nodes are excluded from the grid,
+* **Lemma 3** — merge transitions are skipped at nodes outside the
+  bounding box of the active sink subset (the closure from the projection
+  dominates them),
+* **Lemma 4** — when every sink of ``Q`` lies on the grid boundary, only
+  circularly-consecutive splits are enumerated.
+
+The frontier returned is exact regardless of which pruning flags are set;
+the flags only change how much work is done (tests cross-check all
+configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DegreeTooLargeError
+from ..geometry.hanan import GridNode, HananGrid
+from ..geometry.net import Net
+from ..routing.tree import RoutingTree
+from .pareto import Solution, clean_front, cross, pareto_filter
+
+#: Hard ceiling on exact enumeration; above this the caller should be using
+#: PatLabor's local search. Overridable via ``max_degree=``.
+DEFAULT_MAX_DEGREE = 12
+
+
+@dataclass
+class DWStats:
+    """Work counters for ablation benchmarks (Lemmas 2–4 on/off)."""
+
+    grid_nodes: int = 0
+    pruned_corner_nodes: int = 0
+    merge_transitions: int = 0
+    merge_skipped_lemma3: int = 0
+    splits_saved_lemma4: int = 0
+    closure_extensions: int = 0
+    max_front_size: int = 0
+    subsets: int = 0
+
+
+# Backpointer payloads: small tagged tuples, shared structurally.
+#   ("leaf", sink_node)
+#   ("ext", u_node, v_node, child_payload)
+#   ("merge", payload1, payload2)
+
+
+def _collect_edges(payload: Any, out: Set[Tuple[GridNode, GridNode]]) -> None:
+    stack = [payload]
+    while stack:
+        p = stack.pop()
+        tag = p[0]
+        if tag == "leaf":
+            continue
+        if tag == "ext":
+            _, u, v, child = p
+            if u != v:
+                out.add((u, v))
+            stack.append(child)
+        else:  # merge
+            stack.append(p[1])
+            stack.append(p[2])
+
+
+def _boundary_order(grid: HananGrid, nodes: Sequence[GridNode]) -> Optional[List[int]]:
+    """Clockwise boundary rank of each node, or None if any is interior."""
+    nx, ny = grid.nx, grid.ny
+    ranks: List[int] = []
+    for ix, iy in nodes:
+        if iy == ny - 1:  # top edge, left -> right
+            r = ix
+        elif ix == nx - 1:  # right edge, top -> bottom
+            r = (nx - 1) + (ny - 1 - iy)
+        elif iy == 0:  # bottom edge, right -> left
+            r = (nx - 1) + (ny - 1) + (nx - 1 - ix)
+        elif ix == 0:  # left edge, bottom -> top
+            r = 2 * (nx - 1) + (ny - 1) + iy
+        else:
+            return None
+        ranks.append(r)
+    return ranks
+
+
+def _consecutive_splits(bits: List[int], order: List[int]) -> List[int]:
+    """Submasks whose sinks form a circular run in boundary order.
+
+    ``bits`` are the sink indices in ``Q``; ``order[i]`` is the boundary
+    rank of sink ``i``. Returns proper, non-empty submasks (as bitmasks
+    over the *global* sink indexing) that are consecutive runs; complements
+    of runs are runs, so enumerating runs covers all Lemma-4 splits.
+    """
+    k = len(bits)
+    ring = sorted(bits, key=lambda b: order[b])
+    masks: Set[int] = set()
+    for start in range(k):
+        m = 0
+        for length in range(1, k):  # proper subsets only
+            m |= 1 << ring[(start + length - 1) % k]
+            masks.add(m)
+    return list(masks)
+
+
+def pareto_dw(
+    net: Net,
+    *,
+    lemma2: bool = True,
+    lemma3: bool = True,
+    lemma4: bool = True,
+    with_trees: bool = True,
+    max_degree: int = DEFAULT_MAX_DEGREE,
+    stats: Optional[DWStats] = None,
+) -> List[Solution]:
+    """Exact Pareto frontier of timing-driven routing trees for ``net``.
+
+    Returns Pareto solutions ``(w, d, payload)`` sorted by ascending
+    wirelength; with ``with_trees=True`` each payload is the
+    :class:`RoutingTree` attaining (or weakly dominating) the objectives,
+    otherwise payloads are opaque backpointers.
+
+    Raises :class:`DegreeTooLargeError` when ``net.degree > max_degree``.
+    """
+    n = net.degree
+    if n > max_degree:
+        raise DegreeTooLargeError(n, max_degree)
+
+    grid = HananGrid.of_net(net)
+    pin_nodes = grid.pin_nodes()
+    source_node = pin_nodes[0]
+    sink_nodes = pin_nodes[1:]
+    num_sinks = len(sink_nodes)
+    full = (1 << num_sinks) - 1
+
+    if lemma2:
+        corner = set(grid.corner_nodes())
+        nodes = [v for v in grid.nodes() if v not in corner]
+    else:
+        corner = set()
+        nodes = list(grid.nodes())
+    if stats is not None:
+        stats.grid_nodes = len(nodes)
+        stats.pruned_corner_nodes = len(corner)
+
+    dist = grid.dist
+    boundary_rank = _boundary_order(grid, sink_nodes) if lemma4 else None
+
+    # S[mask] : dict node -> Pareto list of (w, d, payload)
+    S: List[Optional[Dict[GridNode, List[Solution]]]] = [None] * (full + 1)
+
+    def closure(merged: Dict[GridNode, List[Solution]]) -> Dict[GridNode, List[Solution]]:
+        """One metric-closure round: extend every candidate to every node."""
+        out: Dict[GridNode, List[Solution]] = {}
+        sources = [(u, cands) for u, cands in merged.items() if cands]
+        for v in nodes:
+            bucket: List[Solution] = []
+            for u, cands in sources:
+                duv = dist(u, v)
+                if duv == 0.0 and u == v:
+                    bucket.extend(cands)
+                else:
+                    for (w, d, p) in cands:
+                        bucket.append((w + duv, d + duv, ("ext", u, v, p)))
+                    if stats is not None:
+                        stats.closure_extensions += len(cands)
+            front = pareto_filter(bucket)
+            out[v] = front
+            if stats is not None and len(front) > stats.max_front_size:
+                stats.max_front_size = len(front)
+        return out
+
+    # Singletons.
+    for si, s_node in enumerate(sink_nodes):
+        base = {s_node: [(0.0, 0.0, ("leaf", s_node))]}
+        S[1 << si] = closure(base)
+        if stats is not None:
+            stats.subsets += 1
+
+    # Subsets in increasing cardinality.
+    masks_by_size: List[List[int]] = [[] for _ in range(num_sinks + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[bin(mask).count("1")].append(mask)
+
+    for size in range(2, num_sinks + 1):
+        for mask in masks_by_size[size]:
+            bits = [i for i in range(num_sinks) if mask >> i & 1]
+            # Bounding box of the active sinks, for Lemma 3.
+            if lemma3:
+                ixs = [sink_nodes[i][0] for i in bits]
+                iys = [sink_nodes[i][1] for i in bits]
+                bxlo, bxhi = min(ixs), max(ixs)
+                bylo, byhi = min(iys), max(iys)
+
+            # Which splits to enumerate.
+            if boundary_rank is not None and all(
+                boundary_rank[i] is not None for i in bits
+            ):
+                submasks = _consecutive_splits(bits, boundary_rank)
+                # Keep only one of each complementary pair (lowest-bit rule).
+                low = 1 << bits[0]
+                submasks = [sm for sm in submasks if sm & low]
+                if stats is not None:
+                    total = (1 << (size - 1)) - 1
+                    stats.splits_saved_lemma4 += max(0, total - len(submasks))
+            else:
+                low = 1 << bits[0]
+                rest = mask & ~low
+                submasks = []
+                sub = rest
+                while True:
+                    submasks.append(sub | low)
+                    if sub == 0:
+                        break
+                    sub = (sub - 1) & rest
+                submasks = [sm for sm in submasks if sm != mask]
+
+            merged: Dict[GridNode, List[Solution]] = {}
+            for v in nodes:
+                if lemma3:
+                    ix, iy = v
+                    if not (bxlo <= ix <= bxhi and bylo <= iy <= byhi):
+                        if stats is not None:
+                            stats.merge_skipped_lemma3 += 1
+                        continue
+                bucket: List[Solution] = []
+                for q1 in submasks:
+                    q2 = mask ^ q1
+                    s1 = S[q1][v] if S[q1] is not None else None
+                    s2 = S[q2][v] if S[q2] is not None else None
+                    if not s1 or not s2:
+                        continue
+                    if stats is not None:
+                        stats.merge_transitions += 1
+                    for w1, d1, p1 in s1:
+                        for w2, d2, p2 in s2:
+                            bucket.append(
+                                (w1 + w2, max(d1, d2), ("merge", p1, p2))
+                            )
+                if bucket:
+                    merged[v] = pareto_filter(bucket)
+            S[mask] = closure(merged)
+            if stats is not None:
+                stats.subsets += 1
+            # Free sub-frontiers no longer needed? (All smaller masks may
+            # still be needed by other supersets; keep everything — memory
+            # is bounded by 2^(n-1) * |nodes| * |S|, fine for n <= 12.)
+
+    result = S[full][source_node] if S[full] is not None else []
+    if not with_trees:
+        return clean_front(result)
+
+    final: List[Solution] = []
+    for w, d, payload in result:
+        tree = reconstruct_tree(net, grid, payload)
+        tw, td = tree.objective()
+        # The DP value may correspond to an edge multiset; the realised
+        # tree can only be equal or better in both objectives.
+        final.append((min(w, tw), min(d, td), tree))
+    return clean_front(final)
+
+
+def reconstruct_tree(net: Net, grid: HananGrid, payload: Any) -> RoutingTree:
+    """Turn a DP backpointer into a concrete :class:`RoutingTree`."""
+    node_edges: Set[Tuple[GridNode, GridNode]] = set()
+    _collect_edges(payload, node_edges)
+    pt = grid.point
+    edges = [(pt(a), pt(b)) for a, b in node_edges]
+    # The source may coincide with the subtree root without explicit edges
+    # (e.g. degree-2 nets): make sure it is a node.
+    referenced = {p for e in edges for p in e}
+    extra = list(referenced)
+    if not edges:
+        # Single sink collapsed onto the source path: direct connection.
+        edges = [(net.source, s) for s in net.sinks]
+    return RoutingTree.from_edges(net, edges, extra_points=extra)
+
+
+def pareto_frontier(net: Net, **kwargs: Any) -> List[Tuple[float, float]]:
+    """Bare ``(w, d)`` frontier of ``net`` (convenience wrapper)."""
+    return [(w, d) for w, d, _ in pareto_dw(net, with_trees=False, **kwargs)]

@@ -1,0 +1,79 @@
+"""Evaluation harness: benchmark suite, metrics, runner, reporting."""
+
+from .benchmarks import (
+    DESIGN_NAMES,
+    ICCAD15_DEGREE_COUNTS,
+    Iccad15LikeSuite,
+    SyntheticDesign,
+    synth_net,
+)
+from .metrics import (
+    AveragedCurve,
+    NetComparison,
+    Table3Row,
+    Table4Row,
+    average_curves,
+    curve_dominates,
+    table3,
+    table4,
+)
+from .design_flow import (
+    DesignFlowConfig,
+    DesignFlowResult,
+    NetOutcome,
+    route_design,
+)
+from .flow_report import render_flow_detail, render_flow_summary
+from .stats import Summary, bootstrap_ci, mean_with_ci, summarize
+from .runner import (
+    Normalizers,
+    compare_on_net,
+    compare_on_nets,
+    default_methods,
+    fig7_normalizers,
+)
+from .reporting import (
+    format_table,
+    render_curves,
+    render_fig6,
+    render_markdown_table,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "AveragedCurve",
+    "DesignFlowConfig",
+    "DesignFlowResult",
+    "NetOutcome",
+    "Summary",
+    "bootstrap_ci",
+    "mean_with_ci",
+    "render_flow_detail",
+    "render_flow_summary",
+    "route_design",
+    "summarize",
+    "DESIGN_NAMES",
+    "ICCAD15_DEGREE_COUNTS",
+    "Iccad15LikeSuite",
+    "NetComparison",
+    "Normalizers",
+    "SyntheticDesign",
+    "Table3Row",
+    "Table4Row",
+    "average_curves",
+    "compare_on_net",
+    "compare_on_nets",
+    "curve_dominates",
+    "default_methods",
+    "fig7_normalizers",
+    "format_table",
+    "render_curves",
+    "render_fig6",
+    "render_markdown_table",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "synth_net",
+]

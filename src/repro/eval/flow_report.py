@@ -1,0 +1,53 @@
+"""Text reporting for the design-level routing flow."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .design_flow import DesignFlowResult
+from .reporting import format_table
+
+
+def render_flow_summary(
+    results: Dict[str, DesignFlowResult],
+    title: str = "Design flow — strategy comparison",
+) -> str:
+    """Side-by-side summary of strategies over the same net list."""
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                len(r.outcomes),
+                f"{r.total_wirelength:.0f}",
+                r.budget_misses,
+                f"{r.overflow:.0f}",
+                f"{r.max_utilization:.2f}",
+            ]
+        )
+    return format_table(
+        ["strategy", "#nets", "total wire", "budget misses", "overflow", "peak util"],
+        rows,
+        title=title,
+    )
+
+
+def render_flow_detail(result: DesignFlowResult, limit: int = 20) -> str:
+    """Per-net detail of one flow run (first ``limit`` nets)."""
+    rows = [
+        [
+            o.net_name,
+            f"{o.wirelength:.0f}",
+            f"{o.delay:.0f}",
+            f"{o.delay_budget:.0f}",
+            "yes" if o.met_budget else "NO",
+            f"{o.congestion_cost:.0f}",
+        ]
+        for o in result.outcomes[:limit]
+    ]
+    return format_table(
+        ["net", "wire", "delay", "budget", "met", "cong. cost"],
+        rows,
+        title=f"flow detail ({min(limit, len(result.outcomes))} of "
+        f"{len(result.outcomes)} nets)",
+    )

@@ -1,0 +1,174 @@
+"""Pareto-quality metrics for method comparison (Tables III/IV, Fig. 7).
+
+Definitions follow the paper:
+
+* a method is **non-optimal on a net** when none of its solutions lies on
+  the exact Pareto frontier (Table III counts the ratio of such nets);
+* Table IV counts, per degree, the total number of frontier points each
+  method attains;
+* Fig. 7 averages normalised Pareto curves over nets: each net's
+  objectives are divided by ``w(FLUTE)`` and ``d(CL)``, the curve is
+  sampled as "best delay within a wirelength budget" on a fixed budget
+  grid, and budgets are averaged across nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.pareto import (
+    Solution,
+    attains_frontier,
+    count_on_frontier,
+    normalized_front,
+    objectives,
+)
+
+#: Relative tolerance for "same objective value" when matching frontier
+#: points computed by different code paths (float summation order).
+REL_TOL = 1e-6
+
+
+def _match_tol(frontier: Sequence[Solution]) -> float:
+    span = max((max(abs(w), abs(d)) for w, d, *_ in frontier), default=1.0)
+    return max(span * REL_TOL, 1e-9)
+
+
+@dataclass
+class NetComparison:
+    """One net's results: the exact frontier plus per-method Pareto sets."""
+
+    net_name: str
+    degree: int
+    frontier: List[Solution]
+    methods: Dict[str, List[Solution]]
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+    def optimal(self, method: str) -> bool:
+        """Did the method attain at least one frontier point?"""
+        return attains_frontier(
+            self.methods[method], self.frontier, tol=_match_tol(self.frontier)
+        )
+
+    def found_count(self, method: str) -> int:
+        """How many frontier points the method attained."""
+        return count_on_frontier(
+            self.methods[method], self.frontier, tol=_match_tol(self.frontier)
+        )
+
+
+@dataclass
+class Table3Row:
+    """Non-optimality ratios for one degree."""
+
+    degree: int
+    num_nets: int
+    ratios: Dict[str, float]
+
+
+@dataclass
+class Table4Row:
+    """Frontier points found, per method, for one degree."""
+
+    degree: int
+    frontier_total: int
+    found: Dict[str, int]
+
+
+def table3(rows: Sequence[NetComparison]) -> List[Table3Row]:
+    """The Table III artefact from per-net comparisons."""
+    by_degree: Dict[int, List[NetComparison]] = {}
+    for r in rows:
+        by_degree.setdefault(r.degree, []).append(r)
+    out: List[Table3Row] = []
+    for n in sorted(by_degree):
+        group = by_degree[n]
+        methods = group[0].methods.keys()
+        ratios = {
+            m: sum(0 if r.optimal(m) else 1 for r in group) / len(group)
+            for m in methods
+        }
+        out.append(Table3Row(degree=n, num_nets=len(group), ratios=ratios))
+    return out
+
+
+def table4(rows: Sequence[NetComparison]) -> List[Table4Row]:
+    """The Table IV artefact from per-net comparisons."""
+    by_degree: Dict[int, List[NetComparison]] = {}
+    for r in rows:
+        by_degree.setdefault(r.degree, []).append(r)
+    out: List[Table4Row] = []
+    for n in sorted(by_degree):
+        group = by_degree[n]
+        methods = group[0].methods.keys()
+        out.append(
+            Table4Row(
+                degree=n,
+                frontier_total=sum(len(r.frontier) for r in group),
+                found={m: sum(r.found_count(m) for r in group) for m in methods},
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------- Fig. 7
+
+
+@dataclass
+class AveragedCurve:
+    """One method's averaged normalised Pareto curve."""
+
+    method: str
+    budgets: List[float]            # normalised wirelength grid
+    mean_delay: List[float]         # mean normalised best delay per budget
+    total_runtime: float = 0.0
+
+
+def average_curves(
+    rows: Sequence[NetComparison],
+    w_refs: Dict[str, float],
+    d_refs: Dict[str, float],
+    budgets: Optional[Sequence[float]] = None,
+    methods: Optional[Sequence[str]] = None,
+) -> List[AveragedCurve]:
+    """Average each method's normalised curve over the nets.
+
+    ``w_refs[name] / d_refs[name]`` give each net's normalisers
+    (``w(FLUTE)``, ``d(CL)``). For every budget ``b`` on the grid, a net
+    contributes the best normalised delay among the method's solutions
+    with ``w / w_ref <= b`` (the method's own worst solution when none
+    qualifies, so sparse curves are penalised rather than skipped).
+    """
+    if budgets is None:
+        budgets = [1.0 + 0.02 * i for i in range(26)]  # 1.00 .. 1.50
+    method_names = list(methods or rows[0].methods.keys())
+    curves: List[AveragedCurve] = []
+    for m in method_names:
+        means: List[float] = []
+        for b in budgets:
+            acc = 0.0
+            for r in rows:
+                wr, dr = w_refs[r.net_name], d_refs[r.net_name]
+                pts = normalized_front(r.methods[m], wr, dr)
+                feasible = [d for (w, d) in pts if w <= b + 1e-12]
+                if feasible:
+                    acc += min(feasible)
+                else:
+                    acc += max(d for (_w, d) in pts)
+            means.append(acc / len(rows))
+        curves.append(
+            AveragedCurve(
+                method=m,
+                budgets=list(budgets),
+                mean_delay=means,
+                total_runtime=sum(r.runtimes.get(m, 0.0) for r in rows),
+            )
+        )
+    return curves
+
+
+def curve_dominates(a: AveragedCurve, b: AveragedCurve, slack: float = 0.0) -> bool:
+    """True when curve ``a`` is at least as low as ``b`` everywhere
+    (within ``slack``) — "tighter Pareto curve" in the paper's sense."""
+    return all(x <= y + slack for x, y in zip(a.mean_delay, b.mean_delay))

@@ -1,0 +1,138 @@
+"""Plain-text / markdown rendering of experiment artefacts.
+
+Every benchmark prints its table or figure series through these helpers so
+the console output mirrors the paper's layout (and EXPERIMENTS.md can be
+regenerated mechanically).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.frontier_stats import Fig6Result
+from ..lut.table import DegreeStats
+from .metrics import AveragedCurve, Table3Row, Table4Row
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width aligned text table."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(c) for c in col) for col in cols]
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(str(c).rjust(w) for c, w in zip(row, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(sep)
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_table2(stats: Sequence[DegreeStats], title: str = "Table II — lookup table statistics") -> str:
+    rows = [
+        [
+            st.degree,
+            st.num_index,
+            f"{st.avg_topologies:.2f}",
+            st.distinct_topologies,
+            f"{st.build_seconds:.1f}s",
+            "sampled" if st.sampled else "full",
+        ]
+        for st in stats
+    ]
+    return format_table(
+        ["Degree", "#Index", "#Topo", "#Distinct", "Time", "Coverage"],
+        rows,
+        title=title,
+    )
+
+
+def render_table3(rows: Sequence[Table3Row], title: str = "Table III — ratio of non-optimal nets") -> str:
+    methods = list(rows[0].ratios.keys()) if rows else []
+    body = []
+    totals = {m: 0.0 for m in methods}
+    total_nets = 0
+    for r in rows:
+        body.append(
+            [r.degree, r.num_nets]
+            + [f"{r.ratios[m] * 100:.1f}%" for m in methods]
+        )
+        for m in methods:
+            totals[m] += r.ratios[m] * r.num_nets
+        total_nets += r.num_nets
+    if total_nets:
+        body.append(
+            ["Total", total_nets]
+            + [f"{totals[m] / total_nets * 100:.1f}%" for m in methods]
+        )
+    return format_table(["n", "#Net"] + methods, body, title=title)
+
+
+def render_table4(rows: Sequence[Table4Row], title: str = "Table IV — Pareto-frontier solutions found") -> str:
+    methods = list(rows[0].found.keys()) if rows else []
+    body = []
+    grand = {m: 0 for m in methods}
+    frontier_total = 0
+    for r in rows:
+        body.append([r.degree, r.frontier_total] + [r.found[m] for m in methods])
+        for m in methods:
+            grand[m] += r.found[m]
+        frontier_total += r.frontier_total
+    if frontier_total:
+        body.append(
+            ["Total(ratio)", "1.000"]
+            + [f"{grand[m] / frontier_total:.3f}" for m in methods]
+        )
+    return format_table(["n", "|Frontier|"] + methods, body, title=title)
+
+
+def render_fig6(result: Fig6Result, title: str = "Fig. 6 — max Pareto frontier size vs degree") -> str:
+    rows = [
+        [s.degree, s.count, f"{s.mean_size:.2f}", s.max_size]
+        for s in result.per_degree
+    ]
+    table = format_table(["n", "#nets", "mean|F|", "max|F|"], rows, title=title)
+    return (
+        f"{table}\n"
+        f"fit: max|F| ~= {result.slope:.2f} * n + {result.intercept:.2f} "
+        f"(paper: y = 2.85x - 10.9)"
+    )
+
+
+def render_curves(
+    curves: Sequence[AveragedCurve],
+    title: str = "Fig. 7 — averaged normalised Pareto curves",
+    budgets_to_show: Optional[Sequence[float]] = None,
+) -> str:
+    if not curves:
+        return title + " (no data)"
+    budgets = curves[0].budgets
+    if budgets_to_show is not None:
+        idx = [min(range(len(budgets)), key=lambda i: abs(budgets[i] - b))
+               for b in budgets_to_show]
+    else:
+        idx = list(range(0, len(budgets), max(1, len(budgets) // 8)))
+    headers = ["w-budget"] + [c.method for c in curves]
+    rows = []
+    for i in idx:
+        rows.append(
+            [f"{budgets[i]:.2f}"] + [f"{c.mean_delay[i]:.4f}" for c in curves]
+        )
+    table = format_table(headers, rows, title=title)
+    runtimes = ", ".join(f"{c.method}: {c.total_runtime:.2f}s" for c in curves)
+    return f"{table}\ntotal runtimes: {runtimes}"
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(map(str, headers)) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for r in rows:
+        out.append("| " + " | ".join(map(str, r)) + " |")
+    return "\n".join(out)

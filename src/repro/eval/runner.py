@@ -1,0 +1,101 @@
+"""Experiment runner: route nets with every method and collect comparisons.
+
+The single entry point :func:`compare_on_nets` runs a configurable set of
+methods (PatLabor, SALT, the YSD substitute, PD-II, Pareto-KS) on a net
+collection, times them, computes the exact frontier where feasible, and
+returns :class:`~repro.eval.metrics.NetComparison` rows that the table /
+figure builders consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..baselines.prim_dijkstra import pd_sweep
+from ..baselines.rsma import rsma
+from ..baselines.rsmt import rsmt
+from ..baselines.salt import salt_sweep
+from ..baselines.ysd import ysd
+from ..core.pareto import Solution
+from ..core.pareto_dw import pareto_dw
+from ..core.pareto_ks import pareto_ks
+from ..core.patlabor import PatLabor
+from ..geometry.net import Net
+from .metrics import NetComparison
+
+MethodFn = Callable[[Net], List[Solution]]
+
+
+def default_methods(
+    patlabor: Optional[PatLabor] = None,
+    include: Sequence[str] = ("PatLabor", "SALT", "YSD"),
+) -> Dict[str, MethodFn]:
+    """The paper's method lineup (Fig. 7 compares these three; PD and
+    Pareto-KS are available for the extended comparisons)."""
+    router = patlabor or PatLabor()
+    all_methods: Dict[str, MethodFn] = {
+        "PatLabor": router.route,
+        "SALT": salt_sweep,
+        "YSD": ysd,
+        "PD": pd_sweep,
+        "ParetoKS": pareto_ks,
+    }
+    return {k: all_methods[k] for k in include}
+
+
+def compare_on_net(
+    net: Net,
+    methods: Dict[str, MethodFn],
+    exact_frontier: Optional[List[Solution]] = None,
+    compute_exact: bool = True,
+) -> NetComparison:
+    """Run every method on one net (plus the exact frontier if wanted)."""
+    results: Dict[str, List[Solution]] = {}
+    runtimes: Dict[str, float] = {}
+    for name, fn in methods.items():
+        t0 = time.perf_counter()
+        results[name] = fn(net)
+        runtimes[name] = time.perf_counter() - t0
+    if exact_frontier is None and compute_exact:
+        exact_frontier = pareto_dw(net, with_trees=False)
+    return NetComparison(
+        net_name=net.name or f"net_{id(net):x}",
+        degree=net.degree,
+        frontier=list(exact_frontier or []),
+        methods=results,
+        runtimes=runtimes,
+    )
+
+
+def compare_on_nets(
+    nets: Iterable[Net],
+    methods: Optional[Dict[str, MethodFn]] = None,
+    compute_exact: bool = True,
+) -> List[NetComparison]:
+    """Run the lineup on many nets."""
+    methods = methods or default_methods()
+    return [
+        compare_on_net(net, methods, compute_exact=compute_exact)
+        for net in nets
+    ]
+
+
+@dataclass
+class Normalizers:
+    """Per-net Fig. 7 normalisation references."""
+
+    w_refs: Dict[str, float]
+    d_refs: Dict[str, float]
+
+
+def fig7_normalizers(nets: Sequence[Net]) -> Normalizers:
+    """``w(FLUTE)`` and ``d(CL)`` per net (the green / purple circles)."""
+    w_refs: Dict[str, float] = {}
+    d_refs: Dict[str, float] = {}
+    for net in nets:
+        name = net.name or f"net_{id(net):x}"
+        w_refs[name] = rsmt(net).wirelength()
+        d_refs[name] = rsma(net).delay()
+    return Normalizers(w_refs=w_refs, d_refs=d_refs)

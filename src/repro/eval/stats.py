@@ -1,0 +1,88 @@
+"""Small statistics toolkit for experiment reporting.
+
+Paper-artefact benchmarks report sample means over scaled-down pools;
+these helpers quantify how trustworthy those means are (bootstrap
+confidence intervals) and standardise the summary numbers
+(mean / median / std / min / max) the artefacts print.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"n={self.count} mean={self.mean:.4g} median={self.median:.4g} "
+            f"std={self.std:.4g} range=[{self.minimum:.4g}, {self.maximum:.4g}]"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Five-number summary (population std; raises on empty input)."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / n
+    mid = n // 2
+    median = xs[mid] if n % 2 else (xs[mid - 1] + xs[mid]) / 2.0
+    return Summary(
+        count=n,
+        mean=mean,
+        median=median,
+        std=var**0.5,
+        minimum=xs[0],
+        maximum=xs[-1],
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+    statistic=None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic (mean by
+    default) of the sample."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    stat = statistic or (lambda xs: sum(xs) / len(xs))
+    rng = random.Random(seed)
+    xs = [float(v) for v in values]
+    n = len(xs)
+    estimates: List[float] = []
+    for _ in range(resamples):
+        sample = [xs[rng.randrange(n)] for _ in range(n)]
+        estimates.append(stat(sample))
+    estimates.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = estimates[max(0, int(alpha * resamples))]
+    hi = estimates[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return (lo, hi)
+
+
+def mean_with_ci(
+    values: Sequence[float], confidence: float = 0.95, seed: int = 0
+) -> str:
+    """``"0.123 [0.101, 0.145]"`` — the string the artefacts embed."""
+    s = summarize(values)
+    lo, hi = bootstrap_ci(values, confidence=confidence, seed=seed)
+    return f"{s.mean:.4g} [{lo:.4g}, {hi:.4g}]"

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the PatLabor reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class InvalidNetError(ReproError):
+    """A net is malformed (too few pins, duplicate source, NaN coordinates...)."""
+
+
+class InvalidTreeError(ReproError):
+    """A routing tree violates a structural invariant (cycle, orphan, bad root)."""
+
+
+class LookupTableError(ReproError):
+    """A lookup-table operation failed (missing degree, corrupt file, bad key)."""
+
+
+class DegreeTooLargeError(LookupTableError):
+    """An exact method was asked to handle a net above its supported degree."""
+
+    def __init__(self, degree: int, limit: int) -> None:
+        super().__init__(
+            f"net degree {degree} exceeds the supported limit {limit} "
+            f"for this exact method; use PatLabor's local search instead"
+        )
+        self.degree = degree
+        self.limit = limit
+
+
+class SerializationError(ReproError):
+    """Reading or writing an on-disk artifact (net file, LUT, results) failed."""
+
+
+class PolicyError(ReproError):
+    """Pin-selection policy construction or training failed."""

@@ -1,0 +1,32 @@
+"""Geometric substrate: L1 points, bounding boxes, Hanan grids, nets, symmetries."""
+
+from .bbox import BBox, project_onto
+from .hanan import GridNode, HananGrid
+from .net import Net, random_net
+from .point import Point, dedupe_points, hpwl, l1, median_point
+from .transforms import (
+    ALL_TRANSFORMS,
+    IDENTITY,
+    GridTransform,
+    canonical_pattern,
+    transform_pattern,
+)
+
+__all__ = [
+    "ALL_TRANSFORMS",
+    "BBox",
+    "GridNode",
+    "GridTransform",
+    "HananGrid",
+    "IDENTITY",
+    "Net",
+    "Point",
+    "canonical_pattern",
+    "dedupe_points",
+    "hpwl",
+    "l1",
+    "median_point",
+    "project_onto",
+    "random_net",
+    "transform_pattern",
+]

@@ -1,0 +1,78 @@
+"""Axis-aligned bounding boxes and projections used by the DW pruning lemmas.
+
+Lemma 3 of the paper replaces DP states for grid nodes outside the bounding
+box of the active sink subset by the state at the node's projection onto the
+box, shifted by the projection distance. :func:`project_onto` implements that
+projection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from .point import Point, PointLike
+
+
+class BBox(NamedTuple):
+    """Closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    @classmethod
+    def of(cls, points: Iterable[PointLike]) -> "BBox":
+        """Bounding box of a non-empty point collection."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding box of an empty point set")
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def half_perimeter(self) -> float:
+        return self.width + self.height
+
+    def contains(self, p: PointLike) -> bool:
+        """True when ``p`` lies inside or on the boundary of the box."""
+        return self.xlo <= p[0] <= self.xhi and self.ylo <= p[1] <= self.yhi
+
+    def on_boundary(self, p: PointLike) -> bool:
+        """True when ``p`` lies exactly on the rectangle's boundary."""
+        if not self.contains(p):
+            return False
+        return (
+            p[0] == self.xlo
+            or p[0] == self.xhi
+            or p[1] == self.ylo
+            or p[1] == self.yhi
+        )
+
+    def expanded(self, margin: float) -> "BBox":
+        """Box grown by ``margin`` on every side."""
+        return BBox(self.xlo - margin, self.ylo - margin,
+                    self.xhi + margin, self.yhi + margin)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into ``[lo, hi]``."""
+    return lo if value < lo else hi if value > hi else value
+
+
+def project_onto(p: PointLike, box: BBox) -> Point:
+    """L1-nearest point of ``box`` to ``p`` (identity when ``p`` is inside).
+
+    The clamped point minimises L1 distance because the coordinates are
+    independent under the L1 norm.
+    """
+    return Point(clamp(p[0], box.xlo, box.xhi), clamp(p[1], box.ylo, box.yhi))

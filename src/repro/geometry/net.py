@@ -1,0 +1,153 @@
+"""The net model: one source pin plus sinks, to be spanned by a routing tree.
+
+A :class:`Net` is the unit of work for every algorithm in this library.
+Pins are kept in a fixed order with the source always at index 0, matching
+the paper's convention ``r = p_1``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidNetError
+from .bbox import BBox
+from .point import Point, PointLike, dedupe_points, is_finite, l1
+
+
+@dataclass(frozen=True)
+class Net:
+    """A routing net: ``pins[0]`` is the source, the rest are sinks.
+
+    Pins must be pairwise distinct and finite. The class is immutable so
+    nets can be shared freely between algorithms and used as dict keys via
+    :meth:`key`.
+    """
+
+    pins: Tuple[Point, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.pins) < 2:
+            raise InvalidNetError(
+                f"net {self.name!r} needs a source and at least one sink, "
+                f"got {len(self.pins)} pin(s)"
+            )
+        normalized = tuple(Point(float(p[0]), float(p[1])) for p in self.pins)
+        for p in normalized:
+            if not is_finite(p):
+                raise InvalidNetError(f"net {self.name!r} has non-finite pin {p}")
+        if len(set(normalized)) != len(normalized):
+            raise InvalidNetError(f"net {self.name!r} has duplicate pins")
+        object.__setattr__(self, "pins", normalized)
+
+    @classmethod
+    def from_points(
+        cls,
+        source: PointLike,
+        sinks: Sequence[PointLike],
+        name: str = "",
+        drop_duplicates: bool = False,
+    ) -> "Net":
+        """Build a net from a source and a sink list.
+
+        With ``drop_duplicates=True``, sinks coinciding with each other or
+        with the source are silently removed (useful when ingesting raw
+        placement data, where stacked pins are common).
+        """
+        pts = [Point(float(source[0]), float(source[1]))]
+        pts.extend(Point(float(s[0]), float(s[1])) for s in sinks)
+        if drop_duplicates:
+            pts = dedupe_points(pts)
+        return cls(pins=tuple(pts), name=name)
+
+    @property
+    def source(self) -> Point:
+        """The source pin ``r``."""
+        return self.pins[0]
+
+    @property
+    def sinks(self) -> Tuple[Point, ...]:
+        """All sink pins, in declaration order."""
+        return self.pins[1:]
+
+    @property
+    def degree(self) -> int:
+        """Number of pins ``n`` (source included), the paper's net degree."""
+        return len(self.pins)
+
+    def bbox(self) -> BBox:
+        """Bounding box of every pin."""
+        return BBox.of(self.pins)
+
+    def key(self) -> Tuple[Tuple[float, float], ...]:
+        """A hashable identity for the pin geometry (ignores the name)."""
+        return tuple((p.x, p.y) for p in self.pins)
+
+    def star_wirelength(self) -> float:
+        """Wirelength of the source-rooted star — a cheap upper bound."""
+        return sum(l1(self.source, s) for s in self.sinks)
+
+    def delay_lower_bound(self) -> float:
+        """``max_i ||r - p_i||_1`` — no tree can deliver smaller delay."""
+        return max(l1(self.source, s) for s in self.sinks)
+
+    def translated(self, dx: float, dy: float) -> "Net":
+        """The same net shifted rigidly by ``(dx, dy)``."""
+        return Net(
+            pins=tuple(Point(p.x + dx, p.y + dy) for p in self.pins),
+            name=self.name,
+        )
+
+    def scaled(self, factor: float) -> "Net":
+        """The same net scaled about the origin (``factor > 0``)."""
+        if factor <= 0:
+            raise InvalidNetError(f"scale factor must be positive, got {factor}")
+        return Net(
+            pins=tuple(Point(p.x * factor, p.y * factor) for p in self.pins),
+            name=self.name,
+        )
+
+    def with_source(self, index: int) -> "Net":
+        """The same pin set re-rooted so that ``pins[index]`` is the source."""
+        if not 0 <= index < len(self.pins):
+            raise InvalidNetError(f"source index {index} out of range")
+        order = [self.pins[index]] + [
+            p for i, p in enumerate(self.pins) if i != index
+        ]
+        return Net(pins=tuple(order), name=self.name)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.pins)
+
+
+def random_net(
+    degree: int,
+    rng: Optional[random.Random] = None,
+    span: float = 1000.0,
+    grid: Optional[int] = None,
+    name: str = "",
+) -> Net:
+    """A uniformly random degree-``degree`` net in ``[0, span]^2``.
+
+    With ``grid`` set, coordinates snap to ``grid`` equally spaced values,
+    which guarantees integral Hanan-grid edge lengths (handy for exact
+    comparisons in tests).
+    """
+    if degree < 2:
+        raise InvalidNetError(f"cannot generate a net of degree {degree}")
+    rng = rng or random.Random()
+    pts: List[Point] = []
+    seen = set()
+    while len(pts) < degree:
+        if grid:
+            x = round(rng.randrange(grid) * span / max(grid - 1, 1), 6)
+            y = round(rng.randrange(grid) * span / max(grid - 1, 1), 6)
+        else:
+            x = rng.uniform(0.0, span)
+            y = rng.uniform(0.0, span)
+        if (x, y) not in seen:
+            seen.add((x, y))
+            pts.append(Point(x, y))
+    return Net(pins=tuple(pts), name=name or f"rand_d{degree}")

@@ -1,0 +1,93 @@
+"""Planar points under the rectilinear (L1) metric.
+
+The whole library measures distance with the L1 norm, matching the paper's
+metric space ``(R^2, ||.||_1)``. Points are plain ``(x, y)`` tuples at the
+hot-loop level for speed; :class:`Point` is a ``NamedTuple`` wrapper that is
+interchangeable with raw tuples (it *is* a tuple) but gives the public API
+named fields and helper methods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, NamedTuple, Sequence, Tuple
+
+Coord = float
+PointLike = Tuple[Coord, Coord]
+
+
+class Point(NamedTuple):
+    """A point in the rectilinear plane. Interchangeable with ``(x, y)`` tuples."""
+
+    x: Coord
+    y: Coord
+
+    def dist(self, other: PointLike) -> Coord:
+        """L1 distance to ``other``."""
+        return abs(self.x - other[0]) + abs(self.y - other[1])
+
+    def translated(self, dx: Coord, dy: Coord) -> "Point":
+        """Return this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+def l1(a: PointLike, b: PointLike) -> Coord:
+    """L1 (rectilinear) distance between two points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def hpwl(points: Iterable[PointLike]) -> Coord:
+    """Half-perimeter wirelength of a point set (0 for fewer than 2 points)."""
+    pts = list(points)
+    if len(pts) < 2:
+        return 0.0
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def median_point(points: Sequence[PointLike]) -> Point:
+    """Coordinate-wise median of a point set.
+
+    For three points this is the unique Steiner point of the optimal
+    rectilinear star, which the degree-3 fast path in PatLabor relies on.
+    """
+    if not points:
+        raise ValueError("median_point of an empty point set")
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    mid = len(xs) // 2
+    if len(xs) % 2 == 1:
+        return Point(xs[mid], ys[mid])
+    return Point((xs[mid - 1] + xs[mid]) / 2.0, (ys[mid - 1] + ys[mid]) / 2.0)
+
+
+def is_finite(p: PointLike) -> bool:
+    """True when both coordinates are finite real numbers."""
+    return math.isfinite(p[0]) and math.isfinite(p[1])
+
+
+def dedupe_points(points: Iterable[PointLike]) -> List[Point]:
+    """Drop exact duplicates, preserving first-seen order."""
+    seen = set()
+    out: List[Point] = []
+    for p in points:
+        key = (p[0], p[1])
+        if key not in seen:
+            seen.add(key)
+            out.append(Point(*key))
+    return out
+
+
+def manhattan_nearest(p: PointLike, candidates: Sequence[PointLike]) -> int:
+    """Index of the candidate closest to ``p`` in L1 (ties to lowest index)."""
+    if not candidates:
+        raise ValueError("manhattan_nearest with no candidates")
+    best_i = 0
+    best_d = l1(p, candidates[0])
+    for i in range(1, len(candidates)):
+        d = l1(p, candidates[i])
+        if d < best_d:
+            best_d = d
+            best_i = i
+    return best_i

@@ -1,0 +1,144 @@
+"""The eight plane symmetries (dihedral group D4) acting on Hanan grids.
+
+Lookup-table generation (paper, Section V-A) stores only one pattern per
+symmetry class: two pin patterns equivalent under mirror / rotation share a
+table entry. A :class:`GridTransform` maps grid node indices and symbolic
+gap parameters between the query frame and the canonical frame, so a
+solution stored canonically can be evaluated for (and mapped back onto) any
+symmetric query.
+
+Each element is encoded as *(swap, flip_x, flip_y)* applied in that order:
+optionally transpose the axes, then mirror horizontally, then vertically.
+All eight combinations enumerate D4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+GridNode = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridTransform:
+    """One symmetry of the grid: transpose, then mirror x, then mirror y."""
+
+    swap: bool
+    flip_x: bool
+    flip_y: bool
+
+    @property
+    def name(self) -> str:
+        parts = []
+        if self.swap:
+            parts.append("T")
+        if self.flip_x:
+            parts.append("X")
+        if self.flip_y:
+            parts.append("Y")
+        return "".join(parts) or "I"
+
+    def out_shape(self, nx: int, ny: int) -> Tuple[int, int]:
+        """Grid dimensions after applying the transform."""
+        return (ny, nx) if self.swap else (nx, ny)
+
+    def apply_node(self, node: GridNode, nx: int, ny: int) -> GridNode:
+        """Map a node of an ``nx x ny`` grid into the transformed frame."""
+        i, j = node
+        if self.swap:
+            i, j = j, i
+            nx, ny = ny, nx
+        if self.flip_x:
+            i = nx - 1 - i
+        if self.flip_y:
+            j = ny - 1 - j
+        return (i, j)
+
+    def apply_gaps(
+        self, x_gaps: Sequence[float], y_gaps: Sequence[float]
+    ) -> Tuple[List[float], List[float]]:
+        """Map the gap vectors (symbolic edge lengths) into the new frame."""
+        gx, gy = list(x_gaps), list(y_gaps)
+        if self.swap:
+            gx, gy = gy, gx
+        if self.flip_x:
+            gx.reverse()
+        if self.flip_y:
+            gy.reverse()
+        return gx, gy
+
+    def apply_param_vector(
+        self, vec: Sequence[float], nx: int, ny: int
+    ) -> Tuple[float, ...]:
+        """Map a concatenated ``(x_gaps | y_gaps)`` vector of an ``nx x ny`` grid."""
+        a = nx - 1
+        gx, gy = self.apply_gaps(vec[:a], vec[a:])
+        return tuple(gx) + tuple(gy)
+
+    def inverse(self, nx: int, ny: int) -> "GridTransform":
+        """The group element undoing this transform on an ``nx x ny`` grid.
+
+        The inverse does not depend on the grid size, but the size is needed
+        to verify it; we search the eight members, which is cheap and
+        immune to sign errors in hand-derived composition rules.
+        """
+        onx, ony = self.out_shape(nx, ny)
+        probes = [(0, 0), (min(1, nx - 1), 0), (0, min(1, ny - 1))]
+        for cand in ALL_TRANSFORMS:
+            if cand.out_shape(onx, ony) != (nx, ny):
+                continue
+            if all(
+                cand.apply_node(self.apply_node(p, nx, ny), onx, ony) == p
+                for p in probes
+            ):
+                return cand
+        raise AssertionError("D4 element without inverse — unreachable")
+
+
+ALL_TRANSFORMS: Tuple[GridTransform, ...] = tuple(
+    GridTransform(swap=s, flip_x=fx, flip_y=fy)
+    for s in (False, True)
+    for fx in (False, True)
+    for fy in (False, True)
+)
+
+IDENTITY = ALL_TRANSFORMS[0]
+
+
+def transform_pattern(
+    perm: Sequence[int], source_col: int, transform: GridTransform
+) -> Tuple[Tuple[int, ...], int]:
+    """Apply a transform to a pin *pattern*.
+
+    A pattern places ``n`` pins on an ``n x n`` grid, one per column and
+    row: pin in column ``i`` sits at row ``perm[i]``; the source occupies
+    column ``source_col``. Returns the transformed ``(perm, source_col)``.
+    """
+    n = len(perm)
+    nodes = [(i, perm[i]) for i in range(n)]
+    mapped = [transform.apply_node(node, n, n) for node in nodes]
+    new_perm = [0] * n
+    for col, row in mapped:
+        new_perm[col] = row
+    new_source_col = mapped[source_col][0]
+    return tuple(new_perm), new_source_col
+
+
+def canonical_pattern(
+    perm: Sequence[int], source_col: int
+) -> Tuple[Tuple[int, ...], int, GridTransform]:
+    """Lexicographically smallest symmetric image of a pattern.
+
+    Returns ``(canonical_perm, canonical_source_col, transform)`` where
+    ``transform`` maps the *input* pattern onto the canonical one.
+    """
+    best = None
+    best_t = IDENTITY
+    for t in ALL_TRANSFORMS:
+        cand = transform_pattern(perm, source_col, t)
+        if best is None or cand < best:
+            best = cand
+            best_t = t
+    assert best is not None
+    return best[0], best[1], best_t

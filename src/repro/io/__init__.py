@@ -1,0 +1,16 @@
+"""On-disk formats: net files, lookup tables, experiment results."""
+
+from .lut_io import load_lut, lut_file_size, save_lut
+from .nets_format import load_nets, parse_nets, save_nets
+from .results_io import append_results, load_results
+
+__all__ = [
+    "append_results",
+    "load_lut",
+    "load_nets",
+    "load_results",
+    "lut_file_size",
+    "parse_nets",
+    "save_lut",
+    "save_nets",
+]

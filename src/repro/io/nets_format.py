@@ -1,0 +1,90 @@
+"""Plain-text net file format (``.nets``).
+
+A portable, diff-friendly exchange format for net collections:
+
+    # comment
+    net <name> <degree>
+    source <x> <y>
+    sink <x> <y>
+    sink <x> <y>
+    ...
+
+Blank lines separate nets. The CLI and the benchmark suite use this to
+persist generated workloads so experiments are replayable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..exceptions import SerializationError
+from ..geometry.net import Net
+
+PathLike = Union[str, Path]
+
+
+def dump_nets(nets: Iterable[Net], fp: TextIO) -> int:
+    """Write nets to an open text file; returns how many were written."""
+    count = 0
+    for net in nets:
+        fp.write(f"net {net.name or f'net{count}'} {net.degree}\n")
+        fp.write(f"source {net.source.x!r} {net.source.y!r}\n")
+        for s in net.sinks:
+            fp.write(f"sink {s.x!r} {s.y!r}\n")
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def save_nets(nets: Iterable[Net], path: PathLike) -> int:
+    """Write nets to ``path``; returns how many were written."""
+    with open(path, "w", encoding="utf-8") as fp:
+        return dump_nets(nets, fp)
+
+
+def parse_nets(fp: TextIO) -> Iterator[Net]:
+    """Yield nets from an open ``.nets`` text stream."""
+    name = ""
+    source = None
+    sinks: List[tuple] = []
+    lineno = 0
+
+    def flush() -> Iterator[Net]:
+        nonlocal source, sinks, name
+        if source is None and not sinks:
+            return
+        if source is None:
+            raise SerializationError(f"net {name!r} has sinks but no source")
+        yield Net.from_points(source, sinks, name=name)
+        source, sinks, name = None, [], ""
+
+    for raw in fp:
+        lineno += 1
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            if not line:
+                yield from flush()
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "net":
+                yield from flush()
+                name = parts[1] if len(parts) > 1 else ""
+            elif parts[0] == "source":
+                source = (float(parts[1]), float(parts[2]))
+            elif parts[0] == "sink":
+                sinks.append((float(parts[1]), float(parts[2])))
+            else:
+                raise SerializationError(
+                    f"line {lineno}: unknown directive {parts[0]!r}"
+                )
+        except (IndexError, ValueError) as exc:
+            raise SerializationError(f"line {lineno}: malformed: {line!r}") from exc
+    yield from flush()
+
+
+def load_nets(path: PathLike) -> List[Net]:
+    """Read every net in a ``.nets`` file."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return list(parse_nets(fp))

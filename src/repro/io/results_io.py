@@ -1,0 +1,64 @@
+"""Experiment-result persistence (JSON lines).
+
+Benchmarks append one JSON object per (net, method) so long sweeps can be
+resumed and EXPERIMENTS.md regenerated without re-running the routers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..core.pareto import Solution
+from ..eval.metrics import NetComparison
+
+PathLike = Union[str, Path]
+
+
+def comparison_to_dict(row: NetComparison) -> Dict:
+    """JSON-safe representation (drops tree payloads, keeps objectives)."""
+    return {
+        "net": row.net_name,
+        "degree": row.degree,
+        "frontier": [[w, d] for w, d, *_ in row.frontier],
+        "methods": {
+            m: [[w, d] for w, d, *_ in sols] for m, sols in row.methods.items()
+        },
+        "runtimes": row.runtimes,
+    }
+
+
+def comparison_from_dict(doc: Dict) -> NetComparison:
+    """Inverse of :func:`comparison_to_dict` (payloads become ``None``)."""
+    def wrap(pairs: List[List[float]]) -> List[Solution]:
+        return [(w, d, None) for w, d in pairs]
+
+    return NetComparison(
+        net_name=doc["net"],
+        degree=int(doc["degree"]),
+        frontier=wrap(doc["frontier"]),
+        methods={m: wrap(v) for m, v in doc["methods"].items()},
+        runtimes={k: float(v) for k, v in doc.get("runtimes", {}).items()},
+    )
+
+
+def append_results(rows: Iterable[NetComparison], path: PathLike) -> int:
+    """Append rows to a ``.jsonl`` results file; returns the count."""
+    count = 0
+    with open(path, "a", encoding="utf-8") as fp:
+        for row in rows:
+            fp.write(json.dumps(comparison_to_dict(row)) + "\n")
+            count += 1
+    return count
+
+
+def load_results(path: PathLike) -> List[NetComparison]:
+    """Read every result row from a ``.jsonl`` file."""
+    out: List[NetComparison] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                out.append(comparison_from_dict(json.loads(line)))
+    return out

@@ -1,0 +1,40 @@
+"""Lookup tables for small-degree nets: symbolic generation, storage, lookup."""
+
+from .cluster import TopologyPool
+from .default import default_router, default_table
+from .generator import (
+    PatternSolutions,
+    count_canonical_patterns,
+    enumerate_canonical_patterns,
+    generate_degree,
+    generate_degree_parallel,
+    solve_pattern,
+)
+from .symbolic import (
+    SymbolicSolution,
+    merge_solutions,
+    prune_front,
+    shift_solution,
+    symbolic_dominates,
+)
+from .table import DegreeStats, LookupTable, net_pattern
+
+__all__ = [
+    "DegreeStats",
+    "LookupTable",
+    "PatternSolutions",
+    "SymbolicSolution",
+    "TopologyPool",
+    "count_canonical_patterns",
+    "default_router",
+    "default_table",
+    "enumerate_canonical_patterns",
+    "generate_degree",
+    "generate_degree_parallel",
+    "merge_solutions",
+    "net_pattern",
+    "prune_front",
+    "shift_solution",
+    "solve_pattern",
+    "symbolic_dominates",
+]

@@ -1,0 +1,49 @@
+"""Topology interning pool — the paper's table-compression clustering.
+
+Section V-A observes that "for a single set of pins with different
+sources, many topologies are the same", and stores one representative per
+cluster. The pool interns topologies by their undirected grid-edge set:
+every table entry references pool indices instead of owning copies, which
+is where the bulk of the size reduction in Table II's ``Size`` column
+comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+GridNode = Tuple[int, int]
+EdgeSet = FrozenSet[Tuple[GridNode, GridNode]]
+
+
+class TopologyPool:
+    """Interning store for grid-edge-set topologies."""
+
+    def __init__(self) -> None:
+        self._index: Dict[EdgeSet, int] = {}
+        self._edges: List[EdgeSet] = []
+        self.hits = 0  # how many interns found an existing entry
+
+    def intern(self, edges: EdgeSet) -> int:
+        """Return the pool id of ``edges``, inserting it if new."""
+        idx = self._index.get(edges)
+        if idx is not None:
+            self.hits += 1
+            return idx
+        idx = len(self._edges)
+        self._index[edges] = idx
+        self._edges.append(edges)
+        return idx
+
+    def get(self, idx: int) -> EdgeSet:
+        """The edge set stored under pool id ``idx``."""
+        return self._edges[idx]
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """References saved by interning: total references / stored."""
+        total = len(self._edges) + self.hits
+        return total / len(self._edges) if self._edges else 1.0

@@ -1,0 +1,170 @@
+"""Symbolic solutions over Hanan-grid gap lengths, and Lemma 1 pruning.
+
+During lookup-table generation, a solution is not a number pair but the
+paper's parametric form
+
+    ( sum_i w_i * l_i ,  max_i sum_j d_ij * l_j )
+
+represented by an integer usage vector ``W`` and one integer row per sink
+in ``D``. Solution 2 can be *safely pruned* by solution 1 when, for every
+nonnegative gap assignment, solution 1 is at least as good in both
+objectives (paper, Lemma 1 / Equation 2):
+
+* wirelength: ``W1 . l <= W2 . l`` for all ``l >= 0`` — true **iff**
+  ``W1 <= W2`` componentwise (test with unit vectors);
+* delay: ``max_i D1_i . l <= max_j D2_j . l`` for all ``l >= 0``.
+
+The paper discharges the delay condition with an SMT solver. No SMT
+solver is available offline, but none is needed: the condition is linear
+arithmetic over the nonnegative orthant, and decomposes per row of ``D1``
+into "is this linear function dominated by the max of D2's rows on the
+simplex?" — an LP feasibility question that :func:`scipy.optimize.linprog`
+decides **exactly**. A cheaper *sufficient* componentwise test (every D1
+row dominated by some single D2 row) is the default during generation;
+the LP test is exposed for the tighter-tables ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+IntVec = Tuple[int, ...]
+
+
+class SymbolicSolution(NamedTuple):
+    """A parametric routing-tree solution.
+
+    ``w`` is the gap-usage vector of the wirelength; ``rows`` holds one
+    gap-usage vector per sink path (the matrix ``D``); ``payload`` carries
+    the DP backpointer or the finished topology.
+    """
+
+    w: IntVec
+    rows: Tuple[IntVec, ...]
+    payload: Any
+
+    def canonical(self) -> Tuple[IntVec, Tuple[IntVec, ...]]:
+        """Payload-free identity with rows sorted (delay is a max — row
+        order is irrelevant)."""
+        return (self.w, tuple(sorted(self.rows)))
+
+    def evaluate(self, gaps: Sequence[float]) -> Tuple[float, float]:
+        """Numeric ``(w, d)`` at a concrete gap assignment."""
+        w = sum(c * g for c, g in zip(self.w, gaps))
+        d = max(
+            (sum(c * g for c, g in zip(row, gaps)) for row in self.rows),
+            default=0.0,
+        )
+        return (w, d)
+
+
+def _vec_leq(a: IntVec, b: IntVec) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def row_covered_componentwise(row: IntVec, rows2: Sequence[IntVec]) -> bool:
+    """Sufficient test: some single row of D2 dominates ``row``."""
+    return any(_vec_leq(row, r2) for r2 in rows2)
+
+
+def row_covered_lp(row: IntVec, rows2: Sequence[IntVec], tol: float = 1e-9) -> bool:
+    """Exact test: ``row . l <= max_k rows2[k] . l`` for all ``l >= 0``.
+
+    Decided by LP: maximise ``t`` subject to ``(rows2[k] - row) . l + t <= 0``
+    for all k, ``sum(l) = 1``, ``l >= 0``. The row is covered iff the
+    optimum is ``<= tol`` (no direction in the simplex where it wins).
+    """
+    from scipy.optimize import linprog
+
+    if row_covered_componentwise(row, rows2):
+        return True  # fast path, always correct
+    m = len(row)
+    k = len(rows2)
+    if k == 0:
+        return all(c <= 0 for c in row)
+    # Variables: l_1..l_m, t. Objective: maximise t -> minimise -t.
+    c = np.zeros(m + 1)
+    c[-1] = -1.0
+    a_ub = np.zeros((k, m + 1))
+    for i, r2 in enumerate(rows2):
+        a_ub[i, :m] = np.asarray(r2, dtype=float) - np.asarray(row, dtype=float)
+        a_ub[i, -1] = 1.0
+    b_ub = np.zeros(k)
+    a_eq = np.zeros((1, m + 1))
+    a_eq[0, :m] = 1.0
+    b_eq = np.ones(1)
+    bounds = [(0.0, None)] * m + [(None, 1.0)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=bounds, method="highs")
+    if not res.success:  # pragma: no cover - HiGHS never fails on this form
+        return False
+    return -res.fun <= tol
+
+
+def symbolic_dominates(
+    s1: SymbolicSolution, s2: SymbolicSolution, mode: str = "componentwise"
+) -> bool:
+    """True when ``s1`` is at least as good as ``s2`` for every gap
+    assignment (so ``s2`` is safely prunable).
+
+    ``mode``: ``"componentwise"`` (sound, may miss prunes) or ``"lp"``
+    (exact). Both require ``W1 <= W2`` componentwise, which is exact.
+    """
+    if not _vec_leq(s1.w, s2.w):
+        return False
+    if mode == "componentwise":
+        cover = row_covered_componentwise
+    elif mode == "lp":
+        cover = row_covered_lp
+    else:
+        raise ValueError(f"unknown pruning mode {mode!r}")
+    return all(cover(r1, s2.rows) for r1 in s1.rows)
+
+
+def prune_front(
+    solutions: Iterable[SymbolicSolution], mode: str = "componentwise"
+) -> List[SymbolicSolution]:
+    """Drop duplicates and Lemma-1-dominated solutions.
+
+    Keeps every solution that could be uniquely optimal for *some* gap
+    assignment; never discards a potentially optimal topology (soundness
+    is what the lookup table's optimality guarantee rests on).
+    """
+    # Dedupe by canonical identity first (payloads of duplicates are
+    # interchangeable: identical objectives everywhere).
+    seen = {}
+    for s in solutions:
+        seen.setdefault(s.canonical(), s)
+    items = list(seen.values())
+    # Cheap presort: ascending total W usage, so likely-dominating
+    # solutions are scanned first.
+    items.sort(key=lambda s: (sum(s.w), len(s.rows)))
+    kept: List[SymbolicSolution] = []
+    for s in items:
+        if any(symbolic_dominates(k, s, mode=mode) for k in kept):
+            continue
+        kept = [k for k in kept if not symbolic_dominates(s, k, mode=mode)]
+        kept.append(s)
+    return kept
+
+
+def shift_solution(
+    s: SymbolicSolution, edge_vec: IntVec, payload: Any
+) -> SymbolicSolution:
+    """Extend the subtree root along an edge: add the edge's gap vector to
+    the wirelength and to every sink path (the symbolic ``S + x``)."""
+    w = tuple(a + b for a, b in zip(s.w, edge_vec))
+    rows = tuple(
+        tuple(a + b for a, b in zip(row, edge_vec)) for row in s.rows
+    )
+    return SymbolicSolution(w, rows, payload)
+
+
+def merge_solutions(
+    s1: SymbolicSolution, s2: SymbolicSolution, payload: Any
+) -> SymbolicSolution:
+    """Join two subtrees at a shared root (symbolic ``S ⊕ S'``)."""
+    w = tuple(a + b for a, b in zip(s1.w, s2.w))
+    return SymbolicSolution(w, s1.rows + s2.rows, payload)

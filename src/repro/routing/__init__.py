@@ -1,0 +1,19 @@
+"""Routing tree data structures, topologies, embeddings, and validation."""
+
+from .embedding import Segment, embed_edge, embed_tree, embedded_wirelength
+from .topology import GridEdge, GridTopology
+from .tree import RoutingTree
+from .validate import check_all, check_on_hanan_grid, check_tree
+
+__all__ = [
+    "GridEdge",
+    "GridTopology",
+    "RoutingTree",
+    "Segment",
+    "check_all",
+    "check_on_hanan_grid",
+    "check_tree",
+    "embed_edge",
+    "embed_tree",
+    "embedded_wirelength",
+]

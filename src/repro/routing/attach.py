@@ -1,0 +1,148 @@
+"""Incremental tree construction: greedy Steiner attachment onto a partial tree.
+
+Several algorithms (the FLUTE-substitute RSMT engine, SALT refinement, and
+PatLabor's local-search reassembly) need the same primitive: connect a new
+point to a partial tree as cheaply as possible. The cheapest rectilinear
+connection to an existing *edge* ``(a, b)`` is the L1 distance from the
+point to the bounding box of ``a`` and ``b`` — any monotone embedding of
+the edge can be detoured through the projection ``q`` at zero extra cost,
+since ``q`` satisfies ``||a-q|| + ||q-b|| = ||a-b||``.
+
+All created Steiner points combine existing node coordinates with the new
+point's coordinates, so finished trees stay on the Hanan grid of their pin
+set.
+
+:class:`TreeBuilder` relaxes the :class:`RoutingTree` invariant that pins
+occupy the first node slots, which lets pins be attached in any order;
+:meth:`TreeBuilder.finish` converts to a validated :class:`RoutingTree`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..geometry.bbox import BBox, project_onto
+from ..geometry.net import Net
+from ..geometry.point import Point, PointLike, l1
+from .tree import RoutingTree
+
+
+class TreeBuilder:
+    """A mutable rooted tree of points, grown by cheapest attachment."""
+
+    def __init__(self, root: PointLike) -> None:
+        self.points: List[Point] = [Point(float(root[0]), float(root[1]))]
+        self.parent: List[int] = [-1]
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """(child, parent) index pairs."""
+        return [(i, p) for i, p in enumerate(self.parent) if p >= 0]
+
+    def best_connection(
+        self, p: PointLike
+    ) -> Tuple[float, int, Optional[int], Point]:
+        """Cheapest attachment of ``p``.
+
+        Returns ``(cost, node_index, split_child, attach_point)``:
+        attach directly to ``node_index`` when ``split_child`` is None,
+        otherwise split the edge ``(split_child -> parent)`` at
+        ``attach_point`` first.
+        """
+        pt = Point(float(p[0]), float(p[1]))
+        best_cost = float("inf")
+        best_node = 0
+        best_split: Optional[int] = None
+        best_at = self.points[0]
+        for i, node in enumerate(self.points):
+            c = l1(pt, node)
+            if c < best_cost:
+                best_cost, best_node, best_split, best_at = c, i, None, node
+        for child, parent in self.edges():
+            a, b = self.points[child], self.points[parent]
+            box = BBox(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+            q = project_onto(pt, box)
+            c = l1(pt, q)
+            if c < best_cost - 1e-12 and q != a and q != b:
+                best_cost, best_node, best_split, best_at = c, -1, child, q
+        return best_cost, best_node, best_split, best_at
+
+    # ----------------------------------------------------------- mutation
+
+    def attach(self, p: PointLike) -> int:
+        """Attach ``p`` via the cheapest connection; return its node index."""
+        pt = Point(float(p[0]), float(p[1]))
+        cost, node, split_child, at = self.best_connection(pt)
+        if split_child is not None:
+            grand = self.parent[split_child]
+            steiner = len(self.points)
+            self.points.append(at)
+            self.parent.append(grand)
+            self.parent[split_child] = steiner
+            node = steiner
+        if cost == 0.0 and self.points[node] == pt:
+            return node
+        idx = len(self.points)
+        self.points.append(pt)
+        self.parent.append(node)
+        return idx
+
+    def attach_to_node(self, p: PointLike, node: int) -> int:
+        """Attach ``p`` directly under an explicit existing node."""
+        pt = Point(float(p[0]), float(p[1]))
+        if self.points[node] == pt:
+            return node
+        idx = len(self.points)
+        self.points.append(pt)
+        self.parent.append(node)
+        return idx
+
+    def add_edge_chain(self, a: PointLike, b: PointLike) -> None:
+        """Ensure both endpoints exist and are connected (used for seeding
+        a builder from an existing tree's edge list). ``a`` must already be
+        in the builder; ``b`` is attached directly under it."""
+        pa = Point(float(a[0]), float(a[1]))
+        try:
+            ia = self.points.index(pa)
+        except ValueError:
+            raise ValueError(f"chain start {pa} not in builder") from None
+        self.attach_to_node(b, ia)
+
+    # ------------------------------------------------------------- finish
+
+    def finish(self, net: Net) -> RoutingTree:
+        """Convert to a validated :class:`RoutingTree` spanning ``net``."""
+        edges = [
+            (self.points[i], self.points[p]) for i, p in self.edges()
+        ]
+        if not edges:
+            # Degenerate: a single-node builder (degree-2 net attaches the
+            # sink, so this only happens if finish() is called too early).
+            edges = [(net.source, net.source)]
+        return RoutingTree.from_edges(net, edges, extra_points=self.points)
+
+
+def grow_from_source(net: Net, order: Optional[List[int]] = None) -> RoutingTree:
+    """Greedy Steiner growth: start at the source, repeatedly attach the
+    cheapest remaining sink (or follow ``order``, a list of sink indices).
+
+    This is the Prim-with-steinerisation construction used as the fallback
+    RSMT heuristic and as PatLabor's reattachment step.
+    """
+    builder = TreeBuilder(net.source)
+    remaining = list(order) if order is not None else None
+    pending = {i: s for i, s in enumerate(net.sinks)}
+    while pending:
+        if remaining is not None:
+            i = remaining.pop(0)
+        else:
+            i = min(
+                pending,
+                key=lambda j: builder.best_connection(pending[j])[0],
+            )
+        builder.attach(pending.pop(i))
+    return builder.finish(net)

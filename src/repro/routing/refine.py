@@ -1,0 +1,185 @@
+"""Delay-aware tree refinement passes.
+
+SALT's post-processing, PD-II's detour-aware Steinerisation, and
+PatLabor's local-search cleanup all need the same move: *reattach a
+subtree somewhere cheaper without breaking a delay budget*. This module
+implements that move on the parent-array representation, plus a
+convergence loop around it.
+
+A reattachment candidate is either an existing node or a Steiner point
+projected onto an existing edge (splitting it at zero wirelength cost, see
+:mod:`repro.routing.attach`). Candidates inside the moving subtree are
+excluded — attaching below yourself creates a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..geometry.bbox import BBox, project_onto
+from ..geometry.point import Point, l1
+from .tree import RoutingTree
+
+
+def subtree_nodes(tree: RoutingTree, v: int) -> Set[int]:
+    """Node indices of the subtree rooted at ``v`` (``v`` included)."""
+    ch = tree.children()
+    out = {v}
+    stack = [v]
+    while stack:
+        u = stack.pop()
+        for c in ch[u]:
+            out.add(c)
+            stack.append(c)
+    return out
+
+
+def best_reattachment(
+    tree: RoutingTree,
+    v: int,
+    path_lengths: List[float],
+    max_arrival: Optional[float] = None,
+    require_cheaper: bool = True,
+) -> Optional[Tuple[float, float, int, Optional[int], Point]]:
+    """Cheapest reattachment of node ``v`` (with its subtree).
+
+    Returns ``(cost, arrival, node, split_child, attach_point)`` or
+    ``None`` when no candidate qualifies. ``arrival`` is the
+    source→attach-point→v path length; with ``max_arrival`` set, only
+    candidates meeting that budget qualify (the shallow-light constraint).
+    With ``require_cheaper`` (default), candidates at least as expensive as
+    the current parent edge are rejected — pass ``False`` when the caller
+    must rewire regardless of cost (e.g. to restore a delay budget).
+    """
+    forbidden = subtree_nodes(tree, v)
+    pv = tree.points[v]
+    current_cost = tree.edge_length(v)
+    best: Optional[Tuple[float, float, int, Optional[int], Point]] = None
+
+    def consider(cost: float, arrival: float, node: int,
+                 split_child: Optional[int], at: Point) -> None:
+        nonlocal best
+        if max_arrival is not None and arrival > max_arrival + 1e-12:
+            return
+        if best is None or (cost, arrival) < (best[0], best[1]):
+            best = (cost, arrival, node, split_child, at)
+
+    for u, pu in enumerate(tree.points):
+        if u in forbidden:
+            continue
+        cost = l1(pu, pv)
+        consider(cost, path_lengths[u] + cost, u, None, pu)
+
+    for child, parent in tree.edges():
+        if child in forbidden or parent in forbidden:
+            continue
+        a, b = tree.points[child], tree.points[parent]
+        box = BBox(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+        q = project_onto(pv, box)
+        cost = l1(pv, q)
+        # Arrival through the parent side of the split edge.
+        arrival = path_lengths[parent] + l1(tree.points[parent], q) + cost
+        if q != a and q != b:
+            consider(cost, arrival, parent, child, q)
+
+    if best is None:
+        return None
+    if require_cheaper and best[0] >= current_cost - 1e-12:
+        return None
+    return best
+
+
+def apply_reattachment(
+    tree: RoutingTree,
+    v: int,
+    node: int,
+    split_child: Optional[int],
+    attach_point: Point,
+) -> None:
+    """Rewire ``v`` under the chosen attachment, splitting an edge if asked."""
+    target = node
+    if split_child is not None:
+        parent = tree.parent[split_child]
+        steiner = len(tree.points)
+        tree.points.append(attach_point)
+        tree.parent.append(parent)
+        tree.parent[split_child] = steiner
+        target = steiner
+    tree.parent[v] = target
+    tree._invalidate()
+
+
+def wirelength_refine(
+    tree: RoutingTree,
+    delay_cap: Optional[float] = None,
+    max_passes: int = 4,
+) -> RoutingTree:
+    """Repeatedly reattach subtrees to shed wirelength.
+
+    With ``delay_cap`` set, a move is kept only if the whole tree's delay
+    stays within the cap (moves are applied tentatively and reverted
+    otherwise). Terminates after ``max_passes`` sweeps or at a fixed point.
+    Returns a compacted copy; the input is not mutated.
+    """
+    work = tree.copy()
+    for _ in range(max_passes):
+        improved = False
+        pls = work.path_lengths()
+        for v in range(1, len(work.points)):
+            if v >= len(work.points):
+                break
+            cand = best_reattachment(work, v, pls)
+            if cand is None:
+                continue
+            cost, _, node, split_child, at = cand
+            snapshot = (list(work.points), list(work.parent))
+            apply_reattachment(work, v, node, split_child, at)
+            if delay_cap is not None and work.delay() > delay_cap + 1e-9:
+                work.points, work.parent = snapshot
+                work._invalidate()
+                continue
+            improved = True
+            pls = work.path_lengths()
+        if not improved:
+            break
+    return work.compacted()
+
+
+def per_sink_shallow_refine(
+    tree: RoutingTree, epsilon: float, max_passes: int = 4
+) -> RoutingTree:
+    """Shed wirelength while keeping every sink ``(1+epsilon)``-shallow.
+
+    The per-sink budget ``(1+epsilon) * ||r - sink||`` is the SALT
+    invariant; moves violating any sink's budget are reverted.
+    """
+    work = tree.copy()
+    src = work.net.source
+    budgets = [
+        (1.0 + epsilon) * l1(src, s) for s in work.net.sinks
+    ]
+
+    def within_budget() -> bool:
+        return all(
+            pl <= b + 1e-9 for pl, b in zip(work.sink_delays(), budgets)
+        )
+
+    for _ in range(max_passes):
+        improved = False
+        pls = work.path_lengths()
+        for v in range(1, len(work.points)):
+            cand = best_reattachment(work, v, pls)
+            if cand is None:
+                continue
+            _, _, node, split_child, at = cand
+            snapshot = (list(work.points), list(work.parent))
+            apply_reattachment(work, v, node, split_child, at)
+            if not within_budget():
+                work.points, work.parent = snapshot
+                work._invalidate()
+                continue
+            improved = True
+            pls = work.path_lengths()
+        if not improved:
+            break
+    return work.compacted()

@@ -1,0 +1,169 @@
+"""Abstract tree topologies on Hanan-grid node indices.
+
+A :class:`GridTopology` describes a routing tree *combinatorially*: its
+nodes are ``(ix, iy)`` grid indices rather than coordinates, so the same
+topology can be instantiated on every net sharing the pattern — exactly
+what the lookup tables store. Edges connect two grid nodes and stand for
+any monotone rectilinear path between them (each grid gap on the way is
+used once), so symbolic wirelength/delay vectors are well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..exceptions import InvalidTreeError
+from ..geometry.net import Net
+from ..geometry.point import Point
+from ..geometry.transforms import GridTransform
+from .tree import RoutingTree
+
+GridNode = Tuple[int, int]
+GridEdge = Tuple[GridNode, GridNode]
+
+
+def _symbolic_edge(a: GridNode, b: GridNode, nx: int, ny: int) -> Tuple[int, ...]:
+    """Gap-usage vector of a monotone path between two grid nodes."""
+    counts = [0] * ((nx - 1) + (ny - 1))
+    x0, x1 = sorted((a[0], b[0]))
+    for k in range(x0, x1):
+        counts[k] = 1
+    y0, y1 = sorted((a[1], b[1]))
+    off = nx - 1
+    for k in range(y0, y1):
+        counts[off + k] = 1
+    return tuple(counts)
+
+
+@dataclass(frozen=True)
+class GridTopology:
+    """A tree over grid nodes of an ``nx x ny`` Hanan pattern.
+
+    Attributes
+    ----------
+    nx, ny:
+        Grid dimensions.
+    source:
+        Grid node of the source pin.
+    sinks:
+        Grid nodes of the sinks, in net order.
+    edges:
+        Undirected tree edges over grid nodes. Must connect source and all
+        sinks (extra Steiner grid nodes allowed).
+    """
+
+    nx: int
+    ny: int
+    source: GridNode
+    sinks: Tuple[GridNode, ...]
+    edges: Tuple[GridEdge, ...]
+
+    # ------------------------------------------------------------- algebra
+
+    def nodes(self) -> List[GridNode]:
+        """Every grid node referenced by the topology."""
+        seen: Dict[GridNode, None] = {self.source: None}
+        for s in self.sinks:
+            seen.setdefault(s, None)
+        for a, b in self.edges:
+            seen.setdefault(a, None)
+            seen.setdefault(b, None)
+        return list(seen)
+
+    def _paths_from_source(self) -> Dict[GridNode, List[GridEdge]]:
+        """Edge list of the tree path from the source to every node."""
+        adj: Dict[GridNode, List[GridNode]] = {}
+        for a, b in self.edges:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+        paths: Dict[GridNode, List[GridEdge]] = {self.source: []}
+        stack = [self.source]
+        while stack:
+            u = stack.pop()
+            for v in adj.get(u, ()):
+                if v not in paths:
+                    paths[v] = paths[u] + [(u, v)]
+                    stack.append(v)
+        return paths
+
+    def symbolic_solution(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
+        """The paper's ``(W, D)`` representation of this topology.
+
+        ``W`` counts, per grid gap, the total usage over all edges.
+        ``D`` has one row per sink counting gap usage on the source→sink
+        tree path.
+        """
+        m = (self.nx - 1) + (self.ny - 1)
+        w = [0] * m
+        for a, b in self.edges:
+            vec = _symbolic_edge(a, b, self.nx, self.ny)
+            for k in range(m):
+                w[k] += vec[k]
+        paths = self._paths_from_source()
+        rows: List[Tuple[int, ...]] = []
+        for s in self.sinks:
+            if s not in paths:
+                raise InvalidTreeError(f"sink {s} unreachable in topology")
+            row = [0] * m
+            for a, b in paths[s]:
+                vec = _symbolic_edge(a, b, self.nx, self.ny)
+                for k in range(m):
+                    row[k] += vec[k]
+            rows.append(tuple(row))
+        return tuple(w), tuple(rows)
+
+    def evaluate(self, gap_vector: Sequence[float]) -> Tuple[float, float]:
+        """Numeric ``(w, d)`` for concrete grid gap lengths."""
+        w_vec, d_rows = self.symbolic_solution()
+        w = sum(c * g for c, g in zip(w_vec, gap_vector))
+        d = max(
+            (sum(c * g for c, g in zip(row, gap_vector)) for row in d_rows),
+            default=0.0,
+        )
+        return w, d
+
+    # ---------------------------------------------------------- transforms
+
+    def transformed(self, t: GridTransform) -> "GridTopology":
+        """The same topology viewed in the transformed frame."""
+        nnx, nny = t.out_shape(self.nx, self.ny)
+        f = lambda node: t.apply_node(node, self.nx, self.ny)  # noqa: E731
+        return GridTopology(
+            nx=nnx,
+            ny=nny,
+            source=f(self.source),
+            sinks=tuple(f(s) for s in self.sinks),
+            edges=tuple((f(a), f(b)) for a, b in self.edges),
+        )
+
+    def canonical_key(self) -> FrozenSet[FrozenSet[GridNode]]:
+        """Hashable identity of the undirected edge set."""
+        return frozenset(
+            frozenset((a, b)) for a, b in self.edges if a != b
+        )
+
+    # -------------------------------------------------------- realisation
+
+    def instantiate(self, net: Net, xs: Sequence[float], ys: Sequence[float]) -> RoutingTree:
+        """Materialise the topology on a net whose Hanan lines are ``xs``/``ys``.
+
+        ``xs[ix], ys[iy]`` give the coordinates of grid node ``(ix, iy)``.
+        The pins of ``net`` must sit exactly at the grid nodes declared by
+        ``source`` and ``sinks`` (in order).
+        """
+        def coord(node: GridNode) -> Point:
+            return Point(float(xs[node[0]]), float(ys[node[1]]))
+
+        if coord(self.source) != net.source:
+            raise InvalidTreeError(
+                f"topology source {coord(self.source)} != net source {net.source}"
+            )
+        for s_node, pin in zip(self.sinks, net.sinks):
+            if coord(s_node) != pin:
+                raise InvalidTreeError(
+                    f"topology sink at {coord(s_node)} != net sink {pin}"
+                )
+        edges = [(coord(a), coord(b)) for a, b in self.edges]
+        extra = [coord(n) for n in self.nodes()]
+        return RoutingTree.from_edges(net, edges, extra_points=extra)

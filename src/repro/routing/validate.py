@@ -1,0 +1,92 @@
+"""Cross-cutting invariant checks for routing trees.
+
+These helpers are used both by the test suite and (in cheap form) by the
+algorithms themselves as internal sanity checks. Each check raises
+:class:`~repro.exceptions.InvalidTreeError` with a precise message, so a
+failing algorithm points directly at the violated invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..exceptions import InvalidTreeError
+from ..geometry.hanan import HananGrid
+from ..geometry.point import l1
+from .tree import RoutingTree
+
+
+def check_spans_net(tree: RoutingTree) -> None:
+    """Structural validity + every pin present (delegates to the tree)."""
+    tree.validate()
+
+
+def check_on_hanan_grid(tree: RoutingTree) -> None:
+    """Every node (Steiner included) lies on the net's Hanan grid.
+
+    All exact algorithms and the lookup tables guarantee this; heuristics
+    in this library are written to preserve it too (their Steiner points
+    always combine one pin x-coordinate with one pin y-coordinate).
+    """
+    grid = HananGrid.of_net(tree.net)
+    xs, ys = set(grid.xs), set(grid.ys)
+    for i, p in enumerate(tree.points):
+        if p.x not in xs or p.y not in ys:
+            raise InvalidTreeError(
+                f"node {i} at {p} is off the Hanan grid of net {tree.net.name!r}"
+            )
+
+
+def check_objective_bounds(tree: RoutingTree) -> None:
+    """Objectives respect their universal lower bounds.
+
+    * delay >= max_i ||r - p_i||  (paths cannot beat the L1 distance),
+    * wirelength >= half-perimeter of the pin bounding box,
+    * wirelength <= star wirelength is NOT required (trees may exceed the
+      star only if they were built badly) — but delay <= wirelength must
+      hold since every path is a subset of the wiring.
+    """
+    w, d = tree.objective()
+    lb_d = tree.net.delay_lower_bound()
+    if d < lb_d - 1e-9:
+        raise InvalidTreeError(
+            f"delay {d} beats the L1 lower bound {lb_d} — impossible"
+        )
+    lb_w = tree.net.bbox().half_perimeter
+    if w < lb_w - 1e-9:
+        raise InvalidTreeError(
+            f"wirelength {w} beats the bounding-box bound {lb_w} — impossible"
+        )
+    if d > w + 1e-9:
+        raise InvalidTreeError(
+            f"delay {d} exceeds wirelength {w} — a path left the tree"
+        )
+
+
+def check_sink_paths_monotone_bound(tree: RoutingTree) -> None:
+    """Each sink's path length is at least its L1 distance to the source."""
+    src = tree.net.source
+    for sink, path_len in zip(tree.net.sinks, tree.sink_delays()):
+        lb = l1(src, sink)
+        if path_len < lb - 1e-9:
+            raise InvalidTreeError(
+                f"sink {sink}: path length {path_len} < L1 bound {lb}"
+            )
+
+
+def check_tree(tree: RoutingTree, hanan: bool = False) -> None:
+    """Run the full invariant battery on one tree."""
+    check_spans_net(tree)
+    check_objective_bounds(tree)
+    check_sink_paths_monotone_bound(tree)
+    if hanan:
+        check_on_hanan_grid(tree)
+
+
+def check_all(trees: Iterable[RoutingTree], hanan: bool = False) -> int:
+    """Check a collection of trees; returns how many were checked."""
+    count = 0
+    for t in trees:
+        check_tree(t, hanan=hanan)
+        count += 1
+    return count

@@ -1,0 +1,6 @@
+"""Delay models: the paper's path-length metric plus the Elmore extension."""
+
+from .elmore import ElmoreDelay, RCParameters
+from .pathlength import PathLengthDelay
+
+__all__ = ["ElmoreDelay", "PathLengthDelay", "RCParameters"]

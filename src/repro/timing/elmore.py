@@ -1,0 +1,92 @@
+"""Elmore delay evaluator — the paper's future-work metric, as an extension.
+
+The paper's conclusion lists richer delay metrics as future work; PD-II
+and SALT are conventionally evaluated under Elmore delay, so this module
+provides a standard first-order RC model for rectilinear trees:
+
+* every unit of wire contributes resistance ``r`` and capacitance ``c``,
+* each sink has a load capacitance,
+* the Elmore delay of a sink is the sum over the edges on its source path
+  of ``R_edge * (C_downstream + C_edge / 2)``.
+
+The evaluator only *measures* trees — the optimisation objectives of the
+library remain (wirelength, path length) as in the paper — enabling the
+"does the path-length Pareto set also cover the Elmore trade-off?"
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..geometry.point import l1
+from ..routing.tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class RCParameters:
+    """Unit-length RC constants and terminal loads.
+
+    Defaults are in arbitrary-but-consistent units; only ratios matter for
+    ranking trees.
+    """
+
+    unit_resistance: float = 1.0e-3   # per unit length
+    unit_capacitance: float = 2.0e-4  # per unit length
+    sink_capacitance: float = 1.0     # per sink
+    driver_resistance: float = 0.1    # source driver
+
+
+class ElmoreDelay:
+    """First-order (Elmore) RC delay of a routing tree."""
+
+    name = "elmore"
+
+    def __init__(self, params: RCParameters = RCParameters()) -> None:
+        self.params = params
+
+    def _downstream_capacitance(self, tree: RoutingTree) -> List[float]:
+        """Total capacitance hanging below each node (itself included)."""
+        p = self.params
+        n = tree.net.degree
+        cap = [0.0] * len(tree.points)
+        for i in range(1, n):
+            cap[i] += p.sink_capacitance
+        order = tree.topological_order()
+        for u in reversed(order):
+            parent = tree.parent[u]
+            if parent >= 0:
+                edge_cap = p.unit_capacitance * l1(
+                    tree.points[u], tree.points[parent]
+                )
+                cap[u] += edge_cap / 2.0
+                cap[parent] += cap[u] + edge_cap / 2.0
+        return cap
+
+    def sink_delays(self, tree: RoutingTree) -> List[float]:
+        """Elmore delay of every sink, in net sink order."""
+        p = self.params
+        cap = self._downstream_capacitance(tree)
+        # Delay accumulates root-to-node: each edge adds
+        # R_edge * (cap below the edge's child + half the edge's own C),
+        # plus the driver sees the total capacitance.
+        total_cap = cap[0]
+        delay = [0.0] * len(tree.points)
+        delay[0] = p.driver_resistance * total_cap
+        for u in tree.topological_order():
+            parent = tree.parent[u]
+            if parent < 0:
+                continue
+            length = l1(tree.points[u], tree.points[parent])
+            r_edge = p.unit_resistance * length
+            delay[u] = delay[parent] + r_edge * cap[u]
+        return [delay[i] for i in range(1, tree.net.degree)]
+
+    def max_delay(self, tree: RoutingTree) -> float:
+        """Worst sink Elmore delay."""
+        return max(self.sink_delays(tree))
+
+    def critical_sink(self, tree: RoutingTree) -> int:
+        delays = self.sink_delays(tree)
+        return max(range(len(delays)), key=lambda i: delays[i])

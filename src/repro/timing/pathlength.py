@@ -1,0 +1,31 @@
+"""Path-length delay model — the paper's ``d(T)``.
+
+The paper measures delay as the maximum source→sink path length. This
+module exposes that model behind the same small interface as the Elmore
+extension so evaluation code can swap models.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..routing.tree import RoutingTree
+
+
+class PathLengthDelay:
+    """Delay = rectilinear path length from the source."""
+
+    name = "pathlength"
+
+    def sink_delays(self, tree: RoutingTree) -> List[float]:
+        """Per-sink delay, in net sink order."""
+        return tree.sink_delays()
+
+    def max_delay(self, tree: RoutingTree) -> float:
+        """The tree's delay objective ``d(T)``."""
+        return tree.delay()
+
+    def critical_sink(self, tree: RoutingTree) -> int:
+        """Index (into ``net.sinks``) of the worst sink."""
+        delays = tree.sink_delays()
+        return max(range(len(delays)), key=lambda i: delays[i])

@@ -1,0 +1,13 @@
+"""Visualisation: SVG and ASCII rendering of trees and Pareto curves."""
+
+from .ascii_art import front_summary, pareto_ascii, tree_ascii
+from .svg import pareto_curve_svg, save_svg, tree_svg
+
+__all__ = [
+    "front_summary",
+    "pareto_ascii",
+    "pareto_curve_svg",
+    "save_svg",
+    "tree_ascii",
+    "tree_svg",
+]

@@ -1,0 +1,85 @@
+"""ASCII rendering for terminals and doctests.
+
+Small routing trees draw legibly on a character grid: ``S`` source, ``#``
+sinks, ``+`` Steiner points, ``-``/``|`` wires. Pareto curves render as a
+down-sloping staircase of ``*`` markers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.pareto import Solution, objectives
+from ..routing.embedding import embed_tree
+from ..routing.tree import RoutingTree
+
+
+def tree_ascii(tree: RoutingTree, width: int = 60, height: int = 24) -> str:
+    """Character-grid drawing of a routing tree."""
+    segments = embed_tree(tree)
+    pts = [p for s in segments for p in (s.a, s.b)] or list(tree.points)
+    xlo = min(p.x for p in pts)
+    xhi = max(p.x for p in pts)
+    ylo = min(p.y for p in pts)
+    yhi = max(p.y for p in pts)
+    xspan = max(xhi - xlo, 1e-9)
+    yspan = max(yhi - ylo, 1e-9)
+
+    def cx(x: float) -> int:
+        return min(width - 1, round((x - xlo) / xspan * (width - 1)))
+
+    def cy(y: float) -> int:
+        return min(height - 1, (height - 1) - round((y - ylo) / yspan * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for seg in segments:
+        if seg.is_horizontal:
+            r = cy(seg.a.y)
+            c0, c1 = sorted((cx(seg.a.x), cx(seg.b.x)))
+            for c in range(c0, c1 + 1):
+                grid[r][c] = "-" if grid[r][c] == " " else "+"
+        else:
+            c = cx(seg.a.x)
+            r0, r1 = sorted((cy(seg.a.y), cy(seg.b.y)))
+            for r in range(r0, r1 + 1):
+                grid[r][c] = "|" if grid[r][c] == " " else "+"
+    n = tree.net.degree
+    for i, p in enumerate(tree.points):
+        marker = "S" if i == 0 else ("#" if i < n else "+")
+        grid[cy(p.y)][cx(p.x)] = marker
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def pareto_ascii(
+    front: Sequence[Solution], width: int = 50, height: int = 16
+) -> str:
+    """Staircase plot of a Pareto set (wirelength →, delay ↑)."""
+    pts = objectives(front)
+    if not pts:
+        return "(empty front)"
+    wlo = min(w for w, _ in pts)
+    whi = max(w for w, _ in pts)
+    dlo = min(d for _, d in pts)
+    dhi = max(d for _, d in pts)
+    wspan = max(whi - wlo, 1e-9)
+    dspan = max(dhi - dlo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for w, d in pts:
+        c = min(width - 1, round((w - wlo) / wspan * (width - 1)))
+        r = min(height - 1, (height - 1) - round((d - dlo) / dspan * (height - 1)))
+        grid[r][c] = "*"
+    lines = ["".join(row).rstrip() for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"w: [{wlo:.1f}, {whi:.1f}]  d: [{dlo:.1f}, {dhi:.1f}]  "
+        f"({len(pts)} solutions)"
+    )
+    return "\n".join(lines)
+
+
+def front_summary(front: Sequence[Solution]) -> str:
+    """One line per solution: index, wirelength, delay."""
+    lines: List[str] = []
+    for i, (w, d, *_rest) in enumerate(front):
+        lines.append(f"  [{i}] w = {w:10.2f}   d = {d:10.2f}")
+    return "\n".join(lines)

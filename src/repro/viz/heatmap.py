@@ -1,0 +1,90 @@
+"""SVG heatmaps of congestion / demand grids.
+
+Renders a :class:`~repro.congestion.model.CongestionMap` (or any cell
+grid) as a colour-graded SVG, optionally overlaying routed trees — the
+classic global-router congestion picture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..congestion.model import CongestionMap
+from ..routing.embedding import embed_tree
+from ..routing.tree import RoutingTree
+
+
+def _heat_color(value: float) -> str:
+    """White → yellow → red ramp for ``value`` in [0, 1]."""
+    v = min(max(value, 0.0), 1.0)
+    if v < 0.5:
+        # white (255,255,255) -> yellow (255,220,80)
+        t = v / 0.5
+        g = round(255 - 35 * t)
+        b = round(255 - 175 * t)
+        return f"rgb(255,{g},{b})"
+    # yellow -> red (214,39,40)
+    t = (v - 0.5) / 0.5
+    r = round(255 - 41 * t)
+    g = round(220 - 181 * t)
+    b = round(80 - 40 * t)
+    return f"rgb({r},{g},{b})"
+
+
+def congestion_heatmap_svg(
+    cmap: CongestionMap,
+    trees: Sequence[RoutingTree] = (),
+    size: float = 480.0,
+    title: str = "congestion",
+    vmax: Optional[float] = None,
+) -> str:
+    """A standalone SVG heatmap of the map's weights with tree overlays.
+
+    ``vmax`` sets the saturation point of the colour ramp (defaults to the
+    maximum cell weight).
+    """
+    nx, ny = cmap.nx, cmap.ny
+    top = vmax if vmax is not None else max(
+        (w for col in cmap.weights for w in col), default=1.0
+    )
+    top = max(top, 1e-12)
+    margin = 28.0
+    board = size - 2 * margin
+    cell_px = board / max(nx, ny)
+
+    span_x = nx * cmap.cell
+    span_y = ny * cmap.cell
+
+    def tx(x: float) -> float:
+        return margin + (x - cmap.xlo) / span_x * (nx * cell_px)
+
+    def ty(y: float) -> float:
+        return size - margin - (y - cmap.ylo) / span_y * (ny * cell_px)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size:.0f}" '
+        f'height="{size:.0f}" viewBox="0 0 {size:.0f} {size:.0f}">'
+        f'<rect width="100%" height="100%" fill="white"/>'
+        f'<text x="{size / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13" font-family="sans-serif">{title} '
+        f"(max {top:.1f})</text>"
+    ]
+    for ix in range(nx):
+        for iy in range(ny):
+            color = _heat_color(cmap.weights[ix][iy] / top)
+            x = margin + ix * cell_px
+            y = size - margin - (iy + 1) * cell_px
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_px:.1f}" '
+                f'height="{cell_px:.1f}" fill="{color}" '
+                f'stroke="#ddd" stroke-width="0.5"/>'
+            )
+    for tree in trees:
+        for seg in embed_tree(tree):
+            parts.append(
+                f'<line x1="{tx(seg.a.x):.1f}" y1="{ty(seg.a.y):.1f}" '
+                f'x2="{tx(seg.b.x):.1f}" y2="{ty(seg.b.y):.1f}" '
+                f'stroke="#1f77b4" stroke-width="1.2" opacity="0.75"/>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,155 @@
+"""SVG rendering of routing trees and Pareto curves (Figs. 1–3 style).
+
+Hand-rolled SVG keeps the library dependency-free; the output opens in
+any browser. Trees are drawn with L-shape embeddings, square pins, a
+filled square source, and circles for Steiner points — matching the
+paper's figure conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.pareto import Solution, objectives
+from ..routing.embedding import embed_tree, segments_bbox
+from ..routing.tree import RoutingTree
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def _svg_header(width: float, height: float) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+        f'<rect width="100%" height="100%" fill="white"/>'
+    )
+
+
+def tree_svg(
+    tree: RoutingTree,
+    size: float = 400.0,
+    margin: float = 24.0,
+    color: str = "#1f77b4",
+    title: str = "",
+) -> str:
+    """A standalone SVG document drawing one routing tree."""
+    segments = embed_tree(tree)
+    xlo, ylo, xhi, yhi = segments_bbox(segments)
+    span = max(xhi - xlo, yhi - ylo, 1e-9)
+    scale = (size - 2 * margin) / span
+
+    def tx(x: float) -> float:
+        return margin + (x - xlo) * scale
+
+    def ty(y: float) -> float:
+        return size - margin - (y - ylo) * scale  # flip: SVG y grows down
+
+    parts = [_svg_header(size, size)]
+    if title:
+        parts.append(
+            f'<text x="{size / 2:.0f}" y="16" text-anchor="middle" '
+            f'font-size="13" font-family="sans-serif">{title}</text>'
+        )
+    for seg in segments:
+        parts.append(
+            f'<line x1="{tx(seg.a.x):.1f}" y1="{ty(seg.a.y):.1f}" '
+            f'x2="{tx(seg.b.x):.1f}" y2="{ty(seg.b.y):.1f}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+    n = tree.net.degree
+    for i, p in enumerate(tree.points):
+        cx, cy = tx(p.x), ty(p.y)
+        if i == 0:
+            parts.append(
+                f'<rect x="{cx - 5:.1f}" y="{cy - 5:.1f}" width="10" '
+                f'height="10" fill="black"/>'
+            )
+        elif i < n:
+            parts.append(
+                f'<rect x="{cx - 4:.1f}" y="{cy - 4:.1f}" width="8" '
+                f'height="8" fill="white" stroke="black" stroke-width="1.5"/>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3" fill="{color}"/>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def pareto_curve_svg(
+    fronts: Sequence[Tuple[str, Sequence[Solution]]],
+    size: float = 480.0,
+    margin: float = 48.0,
+    title: str = "Pareto curves",
+) -> str:
+    """A standalone SVG scatter/step plot of several Pareto sets.
+
+    ``fronts`` is a list of ``(label, solutions)`` pairs; each is drawn in
+    its own colour with a step line through its points.
+    """
+    all_pts = [pt for _, front in fronts for pt in objectives(front)]
+    if not all_pts:
+        return _svg_header(size, size) + "</svg>"
+    wlo = min(w for w, _ in all_pts)
+    whi = max(w for w, _ in all_pts)
+    dlo = min(d for _, d in all_pts)
+    dhi = max(d for _, d in all_pts)
+    wspan = max(whi - wlo, 1e-9)
+    dspan = max(dhi - dlo, 1e-9)
+
+    def tx(w: float) -> float:
+        return margin + (w - wlo) / wspan * (size - 2 * margin)
+
+    def ty(d: float) -> float:
+        return size - margin - (d - dlo) / dspan * (size - 2 * margin)
+
+    parts = [_svg_header(size, size)]
+    parts.append(
+        f'<text x="{size / 2:.0f}" y="18" text-anchor="middle" '
+        f'font-size="14" font-family="sans-serif">{title}</text>'
+    )
+    # Axes.
+    parts.append(
+        f'<line x1="{margin}" y1="{size - margin}" x2="{size - margin}" '
+        f'y2="{size - margin}" stroke="black"/>'
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{size - margin}" stroke="black"/>'
+        f'<text x="{size / 2:.0f}" y="{size - 8:.0f}" text-anchor="middle" '
+        f'font-size="12" font-family="sans-serif">wirelength</text>'
+        f'<text x="14" y="{size / 2:.0f}" text-anchor="middle" font-size="12" '
+        f'font-family="sans-serif" transform="rotate(-90 14 {size / 2:.0f})">'
+        f"delay</text>"
+    )
+    for idx, (label, front) in enumerate(fronts):
+        color = _COLORS[idx % len(_COLORS)]
+        pts = sorted(objectives(front))
+        # Step line.
+        path = []
+        for i, (w, d) in enumerate(pts):
+            cmd = "M" if i == 0 else "L"
+            if i > 0:
+                path.append(f"L{tx(w):.1f},{ty(pts[i - 1][1]):.1f}")
+            path.append(f"{cmd}{tx(w):.1f},{ty(d):.1f}")
+        parts.append(
+            f'<path d="{" ".join(path)}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+        for w, d in pts:
+            parts.append(
+                f'<circle cx="{tx(w):.1f}" cy="{ty(d):.1f}" r="4" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{size - margin:.0f}" y="{margin + 16 * idx:.0f}" '
+            f'text-anchor="end" font-size="12" font-family="sans-serif" '
+            f'fill="{color}">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_svg(svg: str, path: str) -> None:
+    """Write an SVG document to disk."""
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write(svg)

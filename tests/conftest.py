@@ -1,0 +1,70 @@
+"""Shared fixtures: RNGs, small lookup tables, benchmark nets.
+
+Expensive artefacts (lookup tables) are session-scoped so the whole suite
+builds them once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eval.benchmarks import Iccad15LikeSuite
+from repro.geometry.net import Net, random_net
+from repro.lut.table import LookupTable
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def lut45() -> LookupTable:
+    """Full lookup tables for degrees 4 and 5 (builds in ~2s)."""
+    return LookupTable.build(degrees=(4, 5))
+
+
+@pytest.fixture(scope="session")
+def suite() -> Iccad15LikeSuite:
+    return Iccad15LikeSuite(seed=42)
+
+
+@pytest.fixture
+def square_net() -> Net:
+    """Source at origin, three sinks on a unit-ish square."""
+    return Net.from_points((0, 0), [(10, 0), (10, 10), (0, 10)], name="square")
+
+
+@pytest.fixture
+def line_net() -> Net:
+    """Collinear pins — a degenerate Hanan grid in one axis."""
+    return Net.from_points((0, 0), [(5, 0), (12, 0), (20, 0)], name="line")
+
+
+def fronts_equal(a, b, rel_tol=1e-6):
+    """Compare two (w, d) fronts with relative tolerance."""
+    if len(a) != len(b):
+        return False
+    pairs_a = [(s[0], s[1]) for s in a]
+    pairs_b = [(s[0], s[1]) for s in b]
+    scale = max(
+        (max(abs(w), abs(d)) for w, d in pairs_a + pairs_b), default=1.0
+    )
+    tol = max(scale * rel_tol, 1e-9)
+    return all(
+        abs(wa - wb) <= tol and abs(da - db) <= tol
+        for (wa, da), (wb, db) in zip(pairs_a, pairs_b)
+    )
+
+
+@pytest.fixture
+def assert_fronts_equal():
+    def check(a, b, rel_tol=1e-6):
+        assert fronts_equal(a, b, rel_tol), (
+            f"fronts differ:\n  a={[(s[0], s[1]) for s in a]}"
+            f"\n  b={[(s[0], s[1]) for s in b]}"
+        )
+
+    return check

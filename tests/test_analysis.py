@@ -1,0 +1,152 @@
+"""Tests for the theory-verification package (Theorems 1, 2, 5; Fig. 6)."""
+
+import random
+
+import pytest
+
+from repro.analysis.frontier_stats import fig6_experiment, frontier_sizes
+from repro.analysis.generalization import GeneralizationRow
+from repro.analysis.smoothed import (
+    clustered_net,
+    frontier_size_experiment,
+    linear_fit,
+    smoothed_net,
+)
+from repro.analysis.theorem1 import (
+    all_combination_objectives,
+    combination_tree,
+    exponential_instance,
+    verify_antichain,
+)
+from repro.core.pareto_dw import pareto_frontier
+from repro.routing.validate import check_tree
+
+
+class TestTheorem1:
+    def test_instance_shape(self):
+        net = exponential_instance(2)
+        assert net.degree == 11  # 5 per gadget + source
+
+    def test_combination_trees_valid(self):
+        net = exponential_instance(2)
+        for mask in range(4):
+            choices = [bool(mask >> i & 1) for i in range(2)]
+            check_tree(combination_tree(net, choices))
+
+    def test_antichain_of_2m_witnesses(self):
+        """The proof-sketch witness set: all 2^m combinations mutually
+        incomparable, for m up to 5 (explicit trees, no DW needed)."""
+        for m in (1, 2, 3, 5):
+            objs = all_combination_objectives(m)
+            assert len(objs) == 2**m
+            assert verify_antichain(objs)
+
+    def test_exact_frontier_contains_all_combinations_m1(self):
+        net = exponential_instance(1)
+        frontier = set(pareto_frontier(net))
+        objs = set(all_combination_objectives(1))
+        assert objs <= frontier
+
+    def test_exact_frontier_contains_all_combinations_m2(self):
+        net = exponential_instance(2)
+        frontier = {(round(w, 6), round(d, 6)) for w, d in pareto_frontier(net)}
+        objs = {
+            (round(w, 6), round(d, 6))
+            for w, d in all_combination_objectives(2)
+        }
+        assert objs <= frontier
+        assert len(frontier) >= 4  # 2^2
+
+    def test_choice_vector_length_checked(self):
+        net = exponential_instance(2)
+        with pytest.raises(ValueError):
+            combination_tree(net, [True])
+
+    def test_zero_gadgets_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_instance(0)
+
+
+class TestSmoothedModel:
+    def test_smoothed_net_in_bounds(self):
+        rng = random.Random(1)
+        net = smoothed_net(8, kappa=4.0, rng=rng, span=100.0)
+        for p in net.pins:
+            assert 0 <= p.x <= 100 and 0 <= p.y <= 100
+
+    def test_kappa_one_is_uniform(self):
+        rng = random.Random(2)
+        net = smoothed_net(6, kappa=1.0, rng=rng)
+        assert net.degree == 6
+
+    def test_kappa_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            smoothed_net(5, kappa=0.5)
+
+    def test_high_kappa_concentrates(self):
+        rng = random.Random(3)
+        spans = []
+        for kappa in (1.0, 64.0):
+            widths = []
+            for _ in range(10):
+                net = smoothed_net(6, kappa=kappa, rng=rng, span=100.0)
+                widths.append(net.bbox().half_perimeter)
+            spans.append(sum(widths) / len(widths))
+        assert spans[1] < spans[0]
+
+    def test_clustered_net(self):
+        rng = random.Random(4)
+        net = clustered_net(10, num_clusters=2, rng=rng)
+        assert net.degree == 10
+
+    def test_frontier_size_experiment_rows(self):
+        rows = frontier_size_experiment(
+            degrees=(4, 5), kappas=(1.0, 8.0), samples=4, seed=1
+        )
+        assert len(rows) == 4
+        for r in rows:
+            assert r.mean_size >= 1
+            assert r.max_size >= r.mean_size
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([1, 2, 3], [2, 4, 6])
+        assert abs(slope - 2) < 1e-9
+        assert abs(intercept) < 1e-9
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [1, 2])
+
+
+class TestFig6:
+    def test_frontier_sizes_grouping(self):
+        rng = random.Random(5)
+        nets = [smoothed_net(4, 8.0, rng) for _ in range(3)] + [
+            smoothed_net(5, 8.0, rng) for _ in range(3)
+        ]
+        sizes = frontier_sizes(nets)
+        assert set(sizes) == {4, 5}
+        assert all(len(v) == 3 for v in sizes.values())
+
+    def test_fig6_experiment(self):
+        rng = random.Random(6)
+        nets = [
+            smoothed_net(n, 8.0, rng) for n in (4, 4, 5, 5, 6, 6)
+        ]
+        result = fig6_experiment(nets)
+        assert [s.degree for s in result.per_degree] == [4, 5, 6]
+        assert all(s.max_size >= 1 for s in result.per_degree)
+        # Fitted line exists.
+        assert isinstance(result.slope, float)
+
+
+class TestGeneralizationRow:
+    def test_gap(self):
+        row = GeneralizationRow(m=4, train_perf=0.5, test_perf=0.4)
+        assert abs(row.gap - 0.1) < 1e-12

@@ -1,0 +1,101 @@
+"""Tests for the RSMT engine and single-objective Dreyfus–Wagner."""
+
+import random
+
+import pytest
+
+from repro.baselines.dreyfus_wagner import rsmt_cost, steiner_min_tree
+from repro.baselines.rsmt import reattach_leaf, refine_wirelength, rsmt
+from repro.exceptions import DegreeTooLargeError
+from repro.geometry.net import Net, random_net
+from repro.geometry.point import hpwl
+from repro.routing.validate import check_tree
+
+
+class TestExactDW:
+    def test_two_pins(self):
+        net = Net.from_points((0, 0), [(3, 4)])
+        assert steiner_min_tree(net).wirelength() == 7
+
+    def test_three_pins_is_hpwl(self):
+        # RSMT of <= 3 pins equals the bounding-box half-perimeter.
+        rng = random.Random(1)
+        for _ in range(10):
+            net = random_net(3, rng=rng)
+            assert abs(rsmt_cost(net) - hpwl(net.pins)) < 1e-9
+
+    def test_square_needs_steiner_free_30(self, square_net):
+        assert steiner_min_tree(square_net).wirelength() == 30
+
+    def test_cross_needs_steiner_point(self):
+        # Four pins in a plus: RSMT uses the center.
+        net = Net.from_points((0, 5), [(10, 5), (5, 0), (5, 10)])
+        t = steiner_min_tree(net)
+        assert t.wirelength() == 20
+        assert any(p == (5, 5) for p in t.points)
+
+    def test_lower_bound_hpwl(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            net = random_net(6, rng=rng)
+            assert rsmt_cost(net) >= hpwl(net.pins) - 1e-9
+
+    def test_matches_pareto_dw_min_w(self):
+        from repro.core.pareto_dw import pareto_frontier
+
+        rng = random.Random(3)
+        for _ in range(5):
+            net = random_net(7, rng=rng)
+            assert abs(rsmt_cost(net) - pareto_frontier(net)[0][0]) < 1e-6
+
+    def test_degree_limit(self):
+        with pytest.raises(DegreeTooLargeError):
+            steiner_min_tree(random_net(11, rng=random.Random(0)))
+
+    def test_result_is_valid_tree(self):
+        net = random_net(8, rng=random.Random(4))
+        check_tree(steiner_min_tree(net), hanan=True)
+
+
+class TestRsmtEngine:
+    def test_small_is_exact(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            net = random_net(7, rng=rng)
+            assert abs(rsmt(net).wirelength() - rsmt_cost(net)) < 1e-9
+
+    def test_large_net_valid(self):
+        net = random_net(30, rng=random.Random(6))
+        t = rsmt(net)
+        check_tree(t)
+
+    def test_large_net_quality(self):
+        """D&C + refinement should beat the plain star comfortably and
+        stay within a modest factor of the HPWL lower bound."""
+        rng = random.Random(7)
+        for _ in range(3):
+            net = random_net(25, rng=rng)
+            w = rsmt(net).wirelength()
+            assert w < net.star_wirelength()
+            assert w <= 3.0 * hpwl(net.pins)
+
+    def test_refine_never_worse(self):
+        net = random_net(20, rng=random.Random(8))
+        t = rsmt(net, refine_passes=0)
+        improved, t2 = refine_wirelength(t)
+        assert t2.wirelength() <= t.wirelength() + 1e-9
+
+    def test_reattach_leaf_improves_or_none(self):
+        net = Net.from_points((0, 0), [(10, 0), (10, 4)])
+        from repro.routing.tree import RoutingTree
+
+        t = RoutingTree.from_edges(
+            net, [((0, 0), (10, 0)), ((0, 0), (10, 4))]
+        )
+        out = reattach_leaf(t, 2)
+        assert out is not None
+        assert out.wirelength() < t.wirelength()
+
+    def test_deterministic(self):
+        net = random_net(18, rng=random.Random(9))
+        assert rsmt(net).wirelength() == rsmt(net).wirelength()

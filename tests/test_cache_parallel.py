@@ -1,0 +1,94 @@
+"""Tests for the routing cache and parallel LUT generation."""
+
+import random
+
+import pytest
+
+from repro.core.cache import CachedRouter, translation_key
+from repro.core.pareto_dw import pareto_frontier
+from repro.core.patlabor import PatLabor
+from repro.geometry.net import Net, random_net
+from repro.lut.generator import generate_degree, generate_degree_parallel
+
+
+class TestTranslationKey:
+    def test_translates_share_key(self):
+        net = random_net(6, rng=random.Random(1))
+        moved = net.translated(123.5, -77.25)
+        assert translation_key(net) == translation_key(moved)
+
+    def test_different_shapes_differ(self):
+        a = Net.from_points((0, 0), [(1, 1)])
+        b = Net.from_points((0, 0), [(1, 2)])
+        assert translation_key(a) != translation_key(b)
+
+
+class TestCachedRouter:
+    def test_hit_on_exact_repeat(self):
+        router = CachedRouter(PatLabor())
+        net = random_net(5, rng=random.Random(2))
+        first = router.route(net)
+        second = router.route(net)
+        assert router.hits == 1 and router.misses == 1
+        assert [(w, d) for w, d, _ in first] == [(w, d) for w, d, _ in second]
+
+    def test_hit_on_translate_returns_valid_trees(self):
+        router = CachedRouter(PatLabor())
+        net = random_net(5, rng=random.Random(3))
+        moved = net.translated(50, 75)
+        base = router.route(net)
+        translated = router.route(moved)
+        assert router.hits == 1
+        # Objectives identical; trees live at the translated coordinates.
+        assert [(w, d) for w, d, _ in base] == [
+            (w, d) for w, d, _ in translated
+        ]
+        for _w, _d, tree in translated:
+            tree.validate()
+            assert tree.net is moved or tree.net.key() == moved.key()
+
+    def test_translated_results_match_direct_routing(self, assert_fronts_equal):
+        router = CachedRouter(PatLabor())
+        net = random_net(6, rng=random.Random(4))
+        moved = net.translated(-31.5, 12.0)
+        router.route(net)
+        cached = router.route(moved)
+        assert_fronts_equal(cached, pareto_frontier(moved))
+
+    def test_eviction(self):
+        router = CachedRouter(PatLabor(), max_entries=2)
+        rng = random.Random(5)
+        nets = [random_net(4, rng=rng) for _ in range(3)]
+        for n in nets:
+            router.route(n)
+        router.route(nets[0])  # evicted: must be a miss again
+        assert router.misses == 4
+
+    def test_hit_rate_and_clear(self):
+        router = CachedRouter(PatLabor())
+        net = random_net(4, rng=random.Random(6))
+        router.route(net)
+        router.route(net)
+        assert router.hit_rate == 0.5
+        router.clear()
+        assert router.hit_rate == 0.0
+        assert not router._cache
+
+
+class TestParallelGeneration:
+    def test_matches_serial(self):
+        serial = generate_degree(4, limit=6)
+        parallel = generate_degree_parallel(4, limit=6, jobs=2)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            a = sorted(
+                (s.w, tuple(sorted(s.rows))) for s in serial[key].solutions
+            )
+            b = sorted(
+                (s.w, tuple(sorted(s.rows))) for s in parallel[key].solutions
+            )
+            assert a == b
+
+    def test_jobs_one_falls_back_to_serial(self):
+        out = generate_degree_parallel(4, limit=3, jobs=1)
+        assert len(out) == 3

@@ -1,0 +1,197 @@
+"""Tests for the congestion extension (tri-objective routing)."""
+
+import random
+
+import pytest
+
+from repro.congestion.model import CongestionMap
+from repro.congestion.pareto3 import (
+    dominates3,
+    is_pareto_front3,
+    pareto_filter3,
+    project_wd,
+)
+from repro.congestion.router import (
+    congestion_annotated_front,
+    embed_min_congestion,
+    pareto_dw3,
+)
+from repro.core.pareto_dw import pareto_frontier
+from repro.exceptions import DegreeTooLargeError
+from repro.geometry.net import Net, random_net
+from repro.baselines.rsmt import rsmt
+from repro.routing.embedding import Segment
+from repro.geometry.point import Point
+
+
+def flat_map(weight=1.0, span=100.0, cells=10):
+    return CongestionMap.uniform(0, 0, span, span, cells, cells, weight=weight)
+
+
+def hotspot_map(span=100.0, cells=10, where=(4, 4), radius=2, hot=10.0):
+    cmap = flat_map(span=span, cells=cells)
+    cx, cy = where
+    for ix in range(max(0, cx - radius), min(cells, cx + radius + 1)):
+        for iy in range(max(0, cy - radius), min(cells, cy + radius + 1)):
+            cmap.weights[ix][iy] = hot
+    return cmap
+
+
+class TestCongestionMap:
+    def test_uniform_cost_equals_length(self):
+        cmap = flat_map()
+        seg = Segment(Point(10, 20), Point(60, 20))
+        assert abs(cmap.segment_cost(seg) - 50) < 1e-9
+
+    def test_weighted_cell_scales_cost(self):
+        cmap = hotspot_map(where=(2, 2), radius=0, hot=5.0)
+        # Horizontal run through cell (2, 2) = x in [20,30), y in [20,30).
+        seg = Segment(Point(20, 25), Point(30, 25))
+        assert abs(cmap.segment_cost(seg) - 50) < 1e-9
+
+    def test_partial_cell_crossing(self):
+        cmap = hotspot_map(where=(2, 2), radius=0, hot=5.0)
+        seg = Segment(Point(25, 25), Point(35, 25))  # half hot, half cool
+        assert abs(cmap.segment_cost(seg) - (5 * 5.0 + 5 * 1.0)) < 1e-9
+
+    def test_outside_region_uses_outside_weight(self):
+        cmap = flat_map(span=100.0)
+        cmap.outside_weight = 3.0
+        seg = Segment(Point(-10, 5), Point(0, 5))
+        assert abs(cmap.segment_cost(seg) - 30) < 1e-9
+
+    def test_vertical_cost(self):
+        cmap = hotspot_map(where=(0, 0), radius=0, hot=2.0)
+        seg = Segment(Point(5, 0), Point(5, 10))
+        assert abs(cmap.segment_cost(seg) - 20) < 1e-9
+
+    def test_best_edge_cost_picks_cheaper_l(self):
+        # Hot square in the lower-right: the lower-L crosses it, the
+        # upper-L avoids it.
+        cmap = hotspot_map(where=(8, 0), radius=1, hot=10.0)
+        cost, lower = cmap.best_edge_cost((70, 5), (99, 30))
+        alt = cmap.edge_cost((70, 5), (99, 30), lower_l=True)
+        assert cost <= alt
+        assert not lower  # upper-L avoids the hot corner
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionMap(0, 0, 0.0, [[1.0]])
+        with pytest.raises(ValueError):
+            CongestionMap(0, 0, 1.0, [])
+        with pytest.raises(ValueError):
+            CongestionMap.uniform(0, 0, 100, 50, 10, 10)
+
+    def test_random_hotspots_deterministic(self):
+        a = CongestionMap.random_hotspots(0, 0, 100, 10, rng=random.Random(1))
+        b = CongestionMap.random_hotspots(0, 0, 100, 10, rng=random.Random(1))
+        assert a.weights == b.weights
+
+
+class TestPareto3:
+    def test_dominance(self):
+        assert dominates3((1, 1, 1), (2, 2, 2))
+        assert dominates3((1, 1, 1), (1, 1, 2))
+        assert not dominates3((1, 1, 1), (1, 1, 1))
+        assert not dominates3((1, 3, 1), (2, 2, 2))
+
+    def test_filter_keeps_tradeoffs(self):
+        sols = [
+            (1, 3, 3, "a"),
+            (3, 1, 3, "b"),
+            (3, 3, 1, "c"),
+            (4, 4, 4, "dominated"),
+        ]
+        out = pareto_filter3(sols)
+        assert {s[3] for s in out} == {"a", "b", "c"}
+        assert is_pareto_front3(out)
+
+    def test_filter_dedupes(self):
+        out = pareto_filter3([(1, 1, 1, "x"), (1, 1, 1, "y")])
+        assert len(out) == 1
+
+    def test_project_wd(self):
+        sols = [(1, 3, 9, "a"), (2, 2, 1, "b"), (1.5, 2.8, 0.5, "c")]
+        wd = project_wd(sols)
+        assert [(s[0], s[1]) for s in wd] == [(1, 3), (1.5, 2.8), (2, 2)]
+
+
+class TestParetoDw3:
+    def test_uniform_map_reduces_to_2d(self):
+        """With weight-1 congestion everywhere, c is determined by the
+        embedding of the tree, and the (w, d) projection of the 3-D front
+        equals the 2-D frontier."""
+        rng = random.Random(1)
+        for _ in range(3):
+            net = random_net(5, rng=rng, span=100.0)
+            front3 = pareto_dw3(net, flat_map())
+            wd = [(round(w, 6), round(d, 6)) for w, d, _t in project_wd(front3)]
+            exact = [
+                (round(w, 6), round(d, 6)) for w, d in pareto_frontier(net)
+            ]
+            assert wd == exact
+
+    def test_front_is_3d_antichain_of_valid_trees(self):
+        net = random_net(5, rng=random.Random(2), span=100.0)
+        cmap = CongestionMap.random_hotspots(
+            0, 0, 100, 10, rng=random.Random(3)
+        )
+        front = pareto_dw3(net, cmap)
+        assert front and is_pareto_front3(front)
+        for w, d, c, tree in front:
+            tree.validate()
+            assert c >= 0
+
+    def test_hotspot_creates_congestion_tradeoff(self):
+        """A hot region between source and sink forces a wire/congestion
+        trade-off: the direct route is short but hot, the detour longer
+        but cool."""
+        net = Net.from_points((5, 50), [(95, 50), (50, 95)])
+        cmap = hotspot_map(where=(5, 5), radius=1, hot=50.0)
+        front = pareto_dw3(net, cmap, max_degree=6)
+        costs = [c for _w, _d, c, _t in front]
+        # The frontier must offer at least one escape from the hot path.
+        assert len(front) >= 1
+        assert min(costs) < cmap.edge_cost((5, 50), (95, 50))
+
+    def test_degree_guard(self):
+        with pytest.raises(DegreeTooLargeError):
+            pareto_dw3(random_net(8, rng=random.Random(0)), flat_map())
+
+
+class TestEmbedding:
+    def test_embedding_choice_never_hurts(self):
+        rng = random.Random(4)
+        for _ in range(3):
+            net = random_net(8, rng=rng, span=100.0)
+            tree = rsmt(net)
+            cmap = CongestionMap.random_hotspots(
+                0, 0, 100, 10, rng=random.Random(5)
+            )
+            _, best = embed_min_congestion(tree, cmap)
+            fixed = sum(
+                cmap.edge_cost(tree.points[p], tree.points[c])
+                for c, p in tree.edges()
+            )
+            assert best <= fixed + 1e-9
+
+    def test_segments_cover_wirelength(self):
+        net = random_net(6, rng=random.Random(6), span=100.0)
+        tree = rsmt(net)
+        segs, _ = embed_min_congestion(tree, flat_map())
+        assert abs(sum(s.length for s in segs) - tree.wirelength()) < 1e-9
+
+
+class TestAnnotatedFront:
+    def test_any_degree(self):
+        net = random_net(14, rng=random.Random(7), span=100.0)
+        cmap = CongestionMap.random_hotspots(0, 0, 100, 10, rng=random.Random(8))
+        front = congestion_annotated_front(net, cmap)
+        assert front and is_pareto_front3(front)
+
+    def test_exact_wd_projection_small(self):
+        net = random_net(6, rng=random.Random(9), span=100.0)
+        front = congestion_annotated_front(net, flat_map())
+        wd = [(round(w, 6), round(d, 6)) for w, d, _t in project_wd(front)]
+        exact = [(round(w, 6), round(d, 6)) for w, d in pareto_frontier(net)]
+        assert wd == exact

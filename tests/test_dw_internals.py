@@ -1,0 +1,134 @@
+"""Direct unit tests of Pareto-DW's internal helpers and the reassembly
+invariants of PatLabor's local search."""
+
+import random
+
+import pytest
+
+from repro.core.pareto_dw import _boundary_order, _consecutive_splits
+from repro.core.patlabor import (
+    ARRIVAL_SLACK,
+    reassemble,
+)
+from repro.core.pareto_dw import pareto_dw
+from repro.geometry.hanan import HananGrid
+from repro.geometry.net import Net, random_net
+from repro.geometry.point import l1
+
+
+class TestBoundaryOrder:
+    def grid(self):
+        # 3x3 grid from pins at the corners and center.
+        return HananGrid([(0, 0), (5, 5), (10, 10)])
+
+    def test_interior_returns_none(self):
+        assert _boundary_order(self.grid(), [(1, 1)]) is None
+
+    def test_corners_have_distinct_ranks(self):
+        g = self.grid()
+        corners = [(0, 0), (2, 0), (0, 2), (2, 2)]
+        ranks = _boundary_order(g, corners)
+        assert ranks is not None
+        assert len(set(ranks)) == 4
+
+    def test_clockwise_consistency(self):
+        """Walking the boundary clockwise from the top-left gives strictly
+        increasing ranks."""
+        g = self.grid()
+        walk = [
+            (0, 2), (1, 2), (2, 2),        # top, left -> right
+            (2, 1), (2, 0),                # right, top -> bottom
+            (1, 0), (0, 0),                # bottom, right -> left
+            (0, 1),                        # left, bottom -> top
+        ]
+        ranks = _boundary_order(g, walk)
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(walk)
+
+
+class TestConsecutiveSplits:
+    def test_all_runs_of_a_triangle(self):
+        bits = [0, 1, 2]
+        order = [0, 1, 2]
+        masks = set(_consecutive_splits(bits, order))
+        # Proper, non-empty circular runs over 3 elements: all singletons
+        # and all pairs (every pair is consecutive on a 3-ring).
+        assert masks == {0b001, 0b010, 0b100, 0b011, 0b110, 0b101}
+
+    def test_four_ring_excludes_diagonals(self):
+        bits = [0, 1, 2, 3]
+        order = [0, 1, 2, 3]
+        masks = set(_consecutive_splits(bits, order))
+        assert 0b0101 not in masks  # {0, 2}: not consecutive
+        assert 0b1010 not in masks  # {1, 3}: not consecutive
+        assert 0b0011 in masks and 0b1100 in masks
+
+    def test_complement_closure(self):
+        """The complement of every run is itself a run (or the full set)."""
+        bits = [0, 1, 2, 3]
+        order = [0, 1, 2, 3]
+        full = 0b1111
+        masks = set(_consecutive_splits(bits, order))
+        for m in masks:
+            comp = full ^ m
+            if comp:
+                assert comp in masks
+
+    def test_respects_rank_order_not_index_order(self):
+        bits = [0, 1, 2]
+        order = [0, 2, 1]  # sink 1 sits between 0 and 2 on the ring? no:
+        # ring order by rank: 0 (rank 0), 2 (rank 1), 1 (rank 2).
+        masks = set(_consecutive_splits(bits, order))
+        # {0, 2} is consecutive in rank order.
+        assert 0b101 in masks
+
+
+class TestReassemblyInvariants:
+    def _setup(self, seed=3, degree=16, k=6):
+        net = random_net(degree, rng=random.Random(seed))
+        sel = list(range(k))
+        sub = Net.from_points(net.source, [net.sinks[i] for i in sel])
+        sub_front = pareto_dw(sub)
+        rest = [net.sinks[i] for i in range(degree - 1) if i >= k]
+        return net, sub_front, rest
+
+    def test_wire_mode_spans_and_validates(self):
+        net, sub_front, rest = self._setup()
+        for _w, _d, sub_tree in sub_front:
+            tree = reassemble(net, sub_tree, rest, mode="wire")
+            tree.validate()
+
+    def test_arrival_mode_budget_holds_for_attached_pins(self):
+        """Every pin attached by the shallow completion arrives within
+        (1 + slack) of its L1 bound."""
+        net, sub_front, rest = self._setup()
+        sub_tree = sub_front[-1][2]  # min-delay sub-topology
+        tree = reassemble(net, sub_tree, rest, mode="arrival")
+        rest_set = {(p.x, p.y) for p in rest}
+        src = net.source
+        for sink, arrival in zip(net.sinks, tree.sink_delays()):
+            if (sink.x, sink.y) in rest_set:
+                assert arrival <= (1 + ARRIVAL_SLACK) * l1(src, sink) + 1e-6
+
+    def test_arrival_mode_delay_near_lower_bound(self):
+        net, sub_front, rest = self._setup(seed=9, degree=20, k=8)
+        sub_tree = sub_front[-1][2]
+        tree = reassemble(net, sub_tree, rest, mode="arrival")
+        lb = net.delay_lower_bound()
+        # The sub-tree's sinks are delay-optimal; the attached rest meet
+        # the slack budget — so the whole tree is within slack of the
+        # bound (up to the sub-tree's own optimum).
+        sub_lb = max(l1(net.source, s) for s in sub_tree.net.sinks)
+        assert tree.delay() <= max((1 + ARRIVAL_SLACK) * lb, sub_lb) + 1e-6
+
+    def test_unknown_mode_raises(self):
+        net, sub_front, rest = self._setup()
+        with pytest.raises(ValueError):
+            reassemble(net, sub_front[0][2], rest, mode="bogus")
+
+    def test_wire_mode_lighter_than_arrival_mode(self):
+        net, sub_front, rest = self._setup(seed=11)
+        sub_tree = sub_front[0][2]
+        light = reassemble(net, sub_tree, rest, mode="wire")
+        shallow = reassemble(net, sub_tree, rest, mode="arrival")
+        assert light.wirelength() <= shallow.wirelength() + 1e-9

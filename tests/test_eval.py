@@ -1,0 +1,204 @@
+"""Tests for the evaluation harness: suite, metrics, runner, reporting."""
+
+import random
+
+import pytest
+
+from repro.core.pareto_dw import pareto_dw
+from repro.eval.benchmarks import (
+    DESIGN_NAMES,
+    ICCAD15_DEGREE_COUNTS,
+    Iccad15LikeSuite,
+    SyntheticDesign,
+    synth_net,
+)
+from repro.eval.metrics import (
+    NetComparison,
+    average_curves,
+    curve_dominates,
+    table3,
+    table4,
+)
+from repro.eval.reporting import (
+    format_table,
+    render_curves,
+    render_fig6,
+    render_markdown_table,
+    render_table3,
+    render_table4,
+)
+from repro.eval.runner import (
+    compare_on_net,
+    compare_on_nets,
+    default_methods,
+    fig7_normalizers,
+)
+
+
+class TestSuite:
+    def test_eight_designs(self, suite):
+        assert len(suite.designs) == 8
+        assert {d.name for d in suite.designs} == set(DESIGN_NAMES)
+
+    def test_counts_proportional(self, suite):
+        assert suite.counts_for(4) == round(ICCAD15_DEGREE_COUNTS[4] * suite.scale)
+        assert suite.counts_for(99) == 0
+
+    def test_small_nets_degrees(self, suite):
+        by_deg = suite.small_nets(degrees=(4, 6), per_degree=8)
+        assert set(by_deg) == {4, 6}
+        assert all(n.degree == 4 for n in by_deg[4])
+        assert len(by_deg[4]) == 8
+
+    def test_deterministic(self):
+        a = Iccad15LikeSuite(seed=1).small_nets(degrees=(5,), per_degree=4)[5]
+        b = Iccad15LikeSuite(seed=1).small_nets(degrees=(5,), per_degree=4)[5]
+        assert [n.key() for n in a] == [n.key() for n in b]
+
+    def test_seed_changes_nets(self):
+        a = Iccad15LikeSuite(seed=1).small_nets(degrees=(5,), per_degree=4)[5]
+        b = Iccad15LikeSuite(seed=2).small_nets(degrees=(5,), per_degree=4)[5]
+        assert [n.key() for n in a] != [n.key() for n in b]
+
+    def test_large_nets_degree_range(self, suite):
+        nets = suite.large_nets(count=10, min_degree=10, max_degree=30)
+        assert len(nets) == 10
+        assert all(10 <= n.degree <= 30 for n in nets)
+
+    def test_degree100(self, suite):
+        nets = suite.degree100_nets(count=3)
+        assert all(n.degree == 100 for n in nets)
+
+    def test_synth_net_styles(self):
+        rng = random.Random(0)
+        for style in ("clustered2", "clustered3", "smoothed", "uniform"):
+            net = synth_net(7, rng, style=style)
+            assert net.degree == 7
+
+
+class TestMetrics:
+    def _rows(self):
+        frontier = [(10.0, 30.0, None), (20.0, 20.0, None)]
+        return [
+            NetComparison(
+                net_name="a",
+                degree=5,
+                frontier=frontier,
+                methods={
+                    "good": [(10.0, 30.0, None)],
+                    "bad": [(15.0, 40.0, None)],
+                },
+                runtimes={"good": 0.1, "bad": 0.2},
+            ),
+            NetComparison(
+                net_name="b",
+                degree=5,
+                frontier=[(5.0, 5.0, None)],
+                methods={
+                    "good": [(5.0, 5.0, None)],
+                    "bad": [(5.0, 5.0, None)],
+                },
+                runtimes={"good": 0.1, "bad": 0.2},
+            ),
+        ]
+
+    def test_optimal_and_found(self):
+        rows = self._rows()
+        assert rows[0].optimal("good") and not rows[0].optimal("bad")
+        assert rows[0].found_count("good") == 1
+
+    def test_table3(self):
+        t3 = table3(self._rows())
+        assert len(t3) == 1
+        assert t3[0].ratios["good"] == 0.0
+        assert t3[0].ratios["bad"] == 0.5
+
+    def test_table4(self):
+        t4 = table4(self._rows())
+        assert t4[0].frontier_total == 3
+        assert t4[0].found == {"good": 2, "bad": 1}
+
+    def test_average_curves(self):
+        rows = self._rows()
+        curves = average_curves(
+            rows,
+            w_refs={"a": 10.0, "b": 5.0},
+            d_refs={"a": 10.0, "b": 5.0},
+            budgets=[1.0, 2.0, 3.0],
+        )
+        assert {c.method for c in curves} == {"good", "bad"}
+        good = next(c for c in curves if c.method == "good")
+        assert len(good.mean_delay) == 3
+        # Mean delay decreases (or stays) as the budget loosens.
+        assert good.mean_delay[0] >= good.mean_delay[-1] - 1e-9
+
+    def test_curve_dominates(self):
+        from repro.eval.metrics import AveragedCurve
+
+        a = AveragedCurve("a", [1, 2], [1.0, 0.9])
+        b = AveragedCurve("b", [1, 2], [1.1, 0.9])
+        assert curve_dominates(a, b)
+        assert not curve_dominates(b, a)
+
+
+class TestRunner:
+    def test_compare_on_net(self):
+        net = synth_net(5, random.Random(1))
+        row = compare_on_net(net, default_methods())
+        assert set(row.methods) == {"PatLabor", "SALT", "YSD"}
+        assert row.frontier
+        assert row.optimal("PatLabor")
+
+    def test_method_selection(self):
+        methods = default_methods(include=("SALT", "PD"))
+        assert set(methods) == {"SALT", "PD"}
+
+    def test_compare_without_exact(self):
+        net = synth_net(12, random.Random(2))
+        row = compare_on_net(net, default_methods(include=("SALT",)), compute_exact=False)
+        assert row.frontier == []
+
+    def test_normalizers(self):
+        nets = [synth_net(6, random.Random(3), style="uniform")]
+        norm = fig7_normalizers(nets)
+        name = nets[0].name
+        assert norm.w_refs[name] > 0
+        assert abs(norm.d_refs[name] - nets[0].delay_lower_bound()) < 1e-6
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["33", "44"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_render_tables_smoke(self):
+        rows = TestMetrics()._rows()
+        assert "bad" in render_table3(table3(rows))
+        assert "Total" in render_table4(table4(rows))
+
+    def test_render_markdown(self):
+        md = render_markdown_table(["x", "y"], [["1", "2"]])
+        assert md.startswith("| x | y |")
+        assert "---" in md
+
+    def test_render_fig6(self):
+        from repro.analysis.frontier_stats import fig6_experiment
+        from repro.analysis.smoothed import smoothed_net
+
+        rng = random.Random(7)
+        nets = [smoothed_net(n, 8.0, rng) for n in (4, 4, 5, 5)]
+        out = render_fig6(fig6_experiment(nets))
+        assert "paper: y = 2.85x - 10.9" in out
+
+    def test_render_curves(self):
+        rows = TestMetrics()._rows()
+        curves = average_curves(
+            rows,
+            w_refs={"a": 10.0, "b": 5.0},
+            d_refs={"a": 10.0, "b": 5.0},
+            budgets=[1.0, 1.5],
+        )
+        out = render_curves(curves)
+        assert "total runtimes" in out

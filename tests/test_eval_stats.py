@@ -1,0 +1,85 @@
+"""Tests for the statistics toolkit."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.stats import Summary, bootstrap_ci, mean_with_ci, summarize
+
+values = st.lists(
+    st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_constant_sample(self):
+        s = summarize([5.0] * 10)
+        assert s.std == 0.0
+        assert s.mean == s.median == 5.0
+
+    @given(values)
+    def test_bounds_hold(self, xs):
+        s = summarize(xs)
+        tol = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum <= s.median <= s.maximum
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+        assert s.std >= 0
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_for_stable_sample(self):
+        rng = random.Random(1)
+        xs = [rng.gauss(10.0, 1.0) for _ in range(100)]
+        lo, hi = bootstrap_ci(xs, seed=2)
+        mean = sum(xs) / len(xs)
+        assert lo <= mean <= hi
+        assert hi - lo < 1.0  # tight for n=100, sigma=1
+
+    def test_deterministic_for_seed(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(xs, seed=7) == bootstrap_ci(xs, seed=7)
+
+    def test_constant_sample_degenerate_interval(self):
+        lo, hi = bootstrap_ci([4.0] * 20)
+        assert lo == hi == 4.0
+
+    def test_custom_statistic(self):
+        xs = [1.0, 2.0, 100.0]
+        lo, hi = bootstrap_ci(xs, statistic=lambda s: max(s), seed=1)
+        assert hi == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_wider_confidence_wider_interval(self):
+        rng = random.Random(3)
+        xs = [rng.uniform(0, 10) for _ in range(30)]
+        lo95, hi95 = bootstrap_ci(xs, confidence=0.95, seed=4)
+        lo50, hi50 = bootstrap_ci(xs, confidence=0.50, seed=4)
+        assert (hi95 - lo95) >= (hi50 - lo50) - 1e-12
+
+
+class TestMeanWithCi:
+    def test_format(self):
+        out = mean_with_ci([1.0, 2.0, 3.0])
+        assert out.startswith("2 [") or out.startswith("2.0 [")
+        assert "]" in out

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a bug. Each runs
+in-process (importing the module and calling ``main``) with output
+captured; the slowest two are trimmed via their own CLI knobs.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "all trees validated" in out
+
+    def test_congestion_aware_routing(self, capsys):
+        load_example("congestion_aware_routing.py").main()
+        out = capsys.readouterr().out
+        assert "congestion" in out
+        assert "saved for free" in out
+
+    def test_lut_workflow(self, capsys):
+        load_example("lut_workflow.py").main()
+        out = capsys.readouterr().out
+        assert "verified exact" in out
+
+    def test_global_router_topology_selection(self, capsys):
+        load_example("global_router_topology_selection.py").main()
+        out = capsys.readouterr().out
+        assert "meets every budget" in out
+
+    def test_design_flow_demo(self, capsys, tmp_path):
+        load_example("design_flow_demo.py").main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "every budget met" in out
+        assert (tmp_path / "demand_pareto.svg").exists()
+
+    def test_policy_training_quick(self, capsys):
+        load_example("policy_training.py").main(quick=True)
+        out = capsys.readouterr().out
+        assert "learned weights" in out
+
+    def test_paper_figures(self, capsys, tmp_path):
+        load_example("paper_figures.py").main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "all figures written" in out
+        assert (tmp_path / "fig1_pareto_curves.svg").exists()
+        assert (tmp_path / "fig4_gadget_0.svg").exists()
+
+    def test_every_example_has_docstring_and_main(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            source = path.read_text()
+            assert source.lstrip().startswith(
+                ("#!/usr/bin/env python3", '"""')
+            ), f"{path.name} missing shebang/docstring"
+            assert "def main(" in source, f"{path.name} missing main()"
+            assert '__name__ == "__main__"' in source, path.name

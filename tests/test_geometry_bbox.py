@@ -1,0 +1,91 @@
+"""Unit tests for bounding boxes and the Lemma-3 projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BBox, clamp, project_onto
+from repro.geometry.point import l1
+
+coords = st.floats(-1e5, 1e5, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestBBox:
+    def test_of_points(self):
+        box = BBox.of([(1, 5), (4, 2), (3, 3)])
+        assert box == BBox(1, 2, 4, 5)
+
+    def test_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.of([])
+
+    def test_dimensions(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.half_perimeter == 7
+
+    def test_contains_boundary_and_interior(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains((0, 0))
+        assert box.contains((5, 5))
+        assert box.contains((10, 10))
+        assert not box.contains((10.01, 5))
+
+    def test_on_boundary(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.on_boundary((0, 5))
+        assert box.on_boundary((10, 10))
+        assert not box.on_boundary((5, 5))
+        assert not box.on_boundary((11, 5))
+
+    def test_expanded(self):
+        assert BBox(0, 0, 2, 2).expanded(1) == BBox(-1, -1, 3, 3)
+
+    def test_degenerate_box(self):
+        box = BBox.of([(3, 3)])
+        assert box.width == 0 and box.height == 0
+        assert box.contains((3, 3))
+        assert box.on_boundary((3, 3))
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below_above(self):
+        assert clamp(-2, 0, 10) == 0
+        assert clamp(15, 0, 10) == 10
+
+
+class TestProjection:
+    def test_identity_inside(self):
+        box = BBox(0, 0, 10, 10)
+        assert project_onto((4, 7), box) == (4, 7)
+
+    def test_corner(self):
+        box = BBox(0, 0, 10, 10)
+        assert project_onto((-3, -4), box) == (0, 0)
+
+    def test_edge(self):
+        box = BBox(0, 0, 10, 10)
+        assert project_onto((5, 20), box) == (5, 10)
+
+    @given(points, st.lists(points, min_size=1, max_size=8))
+    def test_projection_is_l1_nearest(self, p, pts):
+        """The clamp is the L1-nearest point of the box — the property
+        Lemma 3 rests on."""
+        box = BBox.of(pts)
+        q = project_onto(p, box)
+        assert box.contains(q)
+        d = l1(p, q)
+        # No box corner or the box's own points are closer.
+        corners = [
+            (box.xlo, box.ylo),
+            (box.xlo, box.yhi),
+            (box.xhi, box.ylo),
+            (box.xhi, box.yhi),
+        ]
+        for c in corners + pts:
+            assert d <= l1(p, c) + 1e-9

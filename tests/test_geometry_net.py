@@ -1,0 +1,120 @@
+"""Unit tests for the net model."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import InvalidNetError
+from repro.geometry.net import Net, random_net
+from repro.geometry.point import Point, l1
+
+
+class TestConstruction:
+    def test_basic(self, square_net):
+        assert square_net.degree == 4
+        assert square_net.source == Point(0, 0)
+        assert len(square_net.sinks) == 3
+
+    def test_from_points_coerces_floats(self):
+        net = Net.from_points((0, 0), [(1, 2)])
+        assert isinstance(net.source.x, float)
+
+    def test_rejects_single_pin(self):
+        with pytest.raises(InvalidNetError):
+            Net.from_points((0, 0), [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidNetError):
+            Net.from_points((0, 0), [(1, 1), (1, 1)])
+
+    def test_rejects_duplicate_of_source(self):
+        with pytest.raises(InvalidNetError):
+            Net.from_points((0, 0), [(0, 0)])
+
+    def test_drop_duplicates_flag(self):
+        net = Net.from_points((0, 0), [(1, 1), (1, 1), (0, 0)], drop_duplicates=True)
+        assert net.degree == 2
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidNetError):
+            Net.from_points((0, 0), [(math.nan, 1)])
+
+    def test_immutability(self, square_net):
+        with pytest.raises(Exception):
+            square_net.pins = ()
+
+
+class TestDerived:
+    def test_bbox(self, square_net):
+        box = square_net.bbox()
+        assert (box.xlo, box.ylo, box.xhi, box.yhi) == (0, 0, 10, 10)
+
+    def test_star_wirelength(self, square_net):
+        assert square_net.star_wirelength() == 10 + 20 + 10
+
+    def test_delay_lower_bound(self, square_net):
+        assert square_net.delay_lower_bound() == 20
+
+    def test_key_is_hashable_and_name_free(self):
+        a = Net.from_points((0, 0), [(1, 1)], name="a")
+        b = Net.from_points((0, 0), [(1, 1)], name="b")
+        assert a.key() == b.key()
+        assert hash(a.key())
+
+    def test_iter(self, square_net):
+        assert list(square_net) == list(square_net.pins)
+
+
+class TestTransformations:
+    def test_translated(self, square_net):
+        t = square_net.translated(5, -3)
+        assert t.source == Point(5, -3)
+        assert t.degree == square_net.degree
+        # relative geometry preserved
+        assert t.delay_lower_bound() == square_net.delay_lower_bound()
+
+    def test_scaled(self, square_net):
+        s = square_net.scaled(2.0)
+        assert s.delay_lower_bound() == 2 * square_net.delay_lower_bound()
+
+    def test_scaled_rejects_nonpositive(self, square_net):
+        with pytest.raises(InvalidNetError):
+            square_net.scaled(0.0)
+
+    def test_with_source(self, square_net):
+        r = square_net.with_source(2)
+        assert r.source == square_net.pins[2]
+        assert set(r.pins) == set(square_net.pins)
+
+    def test_with_source_out_of_range(self, square_net):
+        with pytest.raises(InvalidNetError):
+            square_net.with_source(99)
+
+
+class TestRandomNet:
+    def test_degree_and_distinctness(self):
+        rng = random.Random(1)
+        net = random_net(15, rng=rng)
+        assert net.degree == 15
+        assert len(set(net.pins)) == 15
+
+    def test_deterministic_for_seed(self):
+        a = random_net(8, rng=random.Random(7))
+        b = random_net(8, rng=random.Random(7))
+        assert a.key() == b.key()
+
+    def test_grid_snapping(self):
+        net = random_net(10, rng=random.Random(3), grid=5, span=100)
+        allowed = {round(k * 100 / 4, 6) for k in range(5)}
+        for p in net.pins:
+            assert p.x in allowed and p.y in allowed
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(InvalidNetError):
+            random_net(1)
+
+    def test_span_respected(self):
+        net = random_net(20, rng=random.Random(5), span=50.0)
+        for p in net.pins:
+            assert 0 <= p.x <= 50 and 0 <= p.y <= 50

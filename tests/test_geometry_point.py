@@ -1,0 +1,132 @@
+"""Unit tests for the L1 point primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import (
+    Point,
+    dedupe_points,
+    hpwl,
+    is_finite,
+    l1,
+    manhattan_nearest,
+    median_point,
+)
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestL1:
+    def test_axis_aligned(self):
+        assert l1((0, 0), (5, 0)) == 5
+        assert l1((0, 0), (0, 7)) == 7
+
+    def test_diagonal(self):
+        assert l1((1, 2), (4, 6)) == 3 + 4
+
+    def test_symmetric(self):
+        assert l1((3, -2), (-1, 5)) == l1((-1, 5), (3, -2))
+
+    def test_zero_for_same_point(self):
+        assert l1((2.5, 3.5), (2.5, 3.5)) == 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert l1(a, c) <= l1(a, b) + l1(b, c) + 1e-6
+
+    @given(points, points)
+    def test_nonnegative(self, a, b):
+        assert l1(a, b) >= 0
+
+
+class TestPoint:
+    def test_is_a_tuple(self):
+        p = Point(3, 4)
+        assert p == (3, 4)
+        assert p[0] == 3 and p.y == 4
+
+    def test_dist_matches_l1(self):
+        assert Point(0, 0).dist((3, 4)) == 7
+
+    def test_translated(self):
+        assert Point(1, 2).translated(10, -2) == Point(11, 0)
+
+
+class TestHpwl:
+    def test_empty_and_singleton(self):
+        assert hpwl([]) == 0.0
+        assert hpwl([(5, 5)]) == 0.0
+
+    def test_two_points(self):
+        assert hpwl([(0, 0), (3, 4)]) == 7
+
+    def test_inner_points_ignored(self):
+        assert hpwl([(0, 0), (10, 10), (5, 5)]) == 20
+
+    @given(st.lists(points, min_size=2, max_size=10))
+    def test_lower_bounds_any_spanning_wire(self, pts):
+        # HPWL is the bounding-box half-perimeter: adding points can only
+        # grow it.
+        assert hpwl(pts) <= hpwl(pts + [(2e6, 2e6)])
+
+
+class TestMedianPoint:
+    def test_three_points(self):
+        m = median_point([(0, 0), (10, 2), (4, 8)])
+        assert m == Point(4, 2)
+
+    def test_median_is_between_every_pair_of_three(self):
+        pts = [(0, 0), (10, 2), (4, 8)]
+        m = median_point(pts)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                a, b = pts[i], pts[j]
+                assert min(a[0], b[0]) <= m.x <= max(a[0], b[0])
+                assert min(a[1], b[1]) <= m.y <= max(a[1], b[1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_point([])
+
+    @given(st.lists(points, min_size=3, max_size=3))
+    def test_star_through_median_is_shortest_for_three(self, pts):
+        # Star wirelength through the median equals the RSMT of 3 points:
+        # the Hanan median construction.
+        m = median_point(pts)
+        star = sum(l1(m, p) for p in pts)
+        hp = hpwl(pts)
+        assert star <= hp + 1e-6  # never exceeds the bounding half-perimeter
+        # and every pairwise path through m is monotone:
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert (
+                    abs(l1(pts[i], m) + l1(m, pts[j]) - l1(pts[i], pts[j]))
+                    <= 1e-6
+                )
+
+
+class TestHelpers:
+    def test_is_finite(self):
+        assert is_finite((1.0, 2.0))
+        assert not is_finite((math.nan, 0.0))
+        assert not is_finite((0.0, math.inf))
+
+    def test_dedupe_keeps_order(self):
+        out = dedupe_points([(1, 1), (2, 2), (1, 1), (3, 3), (2, 2)])
+        assert out == [Point(1, 1), Point(2, 2), Point(3, 3)]
+
+    def test_manhattan_nearest(self):
+        cands = [(10, 10), (1, 1), (5, 5)]
+        assert manhattan_nearest((0, 0), cands) == 1
+
+    def test_manhattan_nearest_tie_lowest_index(self):
+        cands = [(1, 0), (0, 1)]
+        assert manhattan_nearest((0, 0), cands) == 0
+
+    def test_manhattan_nearest_empty_raises(self):
+        with pytest.raises(ValueError):
+            manhattan_nearest((0, 0), [])

@@ -1,0 +1,121 @@
+"""Unit tests for the D4 grid symmetries."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.transforms import (
+    ALL_TRANSFORMS,
+    IDENTITY,
+    GridTransform,
+    canonical_pattern,
+    transform_pattern,
+)
+
+
+class TestGroupStructure:
+    def test_eight_distinct_elements(self):
+        assert len(ALL_TRANSFORMS) == 8
+        assert len(set(ALL_TRANSFORMS)) == 8
+
+    def test_identity(self):
+        assert IDENTITY.apply_node((2, 3), 5, 5) == (2, 3)
+        assert IDENTITY.name == "I"
+
+    def test_names_unique(self):
+        assert len({t.name for t in ALL_TRANSFORMS}) == 8
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: t.name)
+    def test_inverse_roundtrip_square(self, t):
+        n = 5
+        inv = t.inverse(n, n)
+        for node in [(0, 0), (4, 0), (2, 3), (4, 4), (1, 2)]:
+            assert inv.apply_node(t.apply_node(node, n, n), n, n) == node
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: t.name)
+    def test_inverse_roundtrip_rectangular(self, t):
+        nx, ny = 3, 6
+        onx, ony = t.out_shape(nx, ny)
+        inv = t.inverse(nx, ny)
+        for node in itertools.product(range(nx), range(ny)):
+            out = t.apply_node(node, nx, ny)
+            assert 0 <= out[0] < onx and 0 <= out[1] < ony
+            assert inv.apply_node(out, onx, ony) == node
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: t.name)
+    def test_bijective_on_grid(self, t):
+        nx, ny = 4, 4
+        images = {
+            t.apply_node(node, nx, ny)
+            for node in itertools.product(range(nx), range(ny))
+        }
+        assert len(images) == nx * ny
+
+
+class TestGapMapping:
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: t.name)
+    def test_gaps_consistent_with_nodes(self, t):
+        """Distances computed via transformed gaps match node mapping."""
+        rng = random.Random(9)
+        nx, ny = 4, 5
+        gx = [rng.uniform(1, 10) for _ in range(nx - 1)]
+        gy = [rng.uniform(1, 10) for _ in range(ny - 1)]
+        ngx, ngy = t.apply_gaps(gx, gy)
+
+        def coord(gaps, i):
+            return sum(gaps[:i])
+
+        for a in itertools.product(range(nx), range(ny)):
+            for b in itertools.product(range(nx), range(ny)):
+                da = abs(coord(gx, a[0]) - coord(gx, b[0])) + abs(
+                    coord(gy, a[1]) - coord(gy, b[1])
+                )
+                ta = t.apply_node(a, nx, ny)
+                tb = t.apply_node(b, nx, ny)
+                db = abs(coord(ngx, ta[0]) - coord(ngx, tb[0])) + abs(
+                    coord(ngy, ta[1]) - coord(ngy, tb[1])
+                )
+                assert abs(da - db) < 1e-9
+
+    def test_param_vector_form(self):
+        t = GridTransform(swap=True, flip_x=False, flip_y=False)
+        vec = (1.0, 2.0, 10.0, 20.0, 30.0)  # nx=3 (2 x-gaps), ny=4 (3 y-gaps)
+        out = t.apply_param_vector(vec, 3, 4)
+        assert out == (10.0, 20.0, 30.0, 1.0, 2.0)
+
+
+class TestPatterns:
+    def test_transform_pattern_identity(self):
+        perm, src = (2, 0, 1), 1
+        assert transform_pattern(perm, src, IDENTITY) == (perm, src)
+
+    def test_transform_pattern_is_permutation(self):
+        for t in ALL_TRANSFORMS:
+            perm, src = transform_pattern((2, 0, 3, 1), 2, t)
+            assert sorted(perm) == [0, 1, 2, 3]
+            assert 0 <= src < 4
+
+    def test_canonical_is_orbit_minimum(self):
+        perm, src = (3, 1, 0, 2), 1
+        cperm, csrc, t = canonical_pattern(perm, src)
+        orbit = [transform_pattern(perm, src, u) for u in ALL_TRANSFORMS]
+        assert (cperm, csrc) == min(orbit)
+        assert transform_pattern(perm, src, t) == (cperm, csrc)
+
+    def test_canonical_is_idempotent(self):
+        perm, src = (3, 1, 0, 2), 1
+        cperm, csrc, _ = canonical_pattern(perm, src)
+        c2perm, c2src, _ = canonical_pattern(cperm, csrc)
+        assert (cperm, csrc) == (c2perm, c2src)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.permutations(range(5)), st.integers(0, 4))
+    def test_orbit_members_share_canonical(self, perm, src):
+        perm = tuple(perm)
+        cano = canonical_pattern(perm, src)[:2]
+        for t in ALL_TRANSFORMS:
+            tp, ts = transform_pattern(perm, src, t)
+            assert canonical_pattern(tp, ts)[:2] == cano

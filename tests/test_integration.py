@@ -1,0 +1,126 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import random
+
+import pytest
+
+from repro.core.pareto import count_on_frontier, dominates, weakly_dominates
+from repro.core.pareto_dw import pareto_dw
+from repro.core.patlabor import PatLabor, PatLaborConfig
+from repro.eval.benchmarks import Iccad15LikeSuite
+from repro.eval.metrics import average_curves, table3, table4
+from repro.eval.runner import compare_on_nets, default_methods, fig7_normalizers
+from repro.geometry.net import random_net
+from repro.io.lut_io import load_lut, save_lut
+from repro.lut.table import LookupTable
+
+
+class TestPaperClaimsPipeline:
+    """The paper's headline claims, asserted at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        suite = Iccad15LikeSuite(seed=11)
+        nets = [
+            n
+            for g in suite.small_nets(degrees=(4, 5, 6), per_degree=6).values()
+            for n in g
+        ]
+        return compare_on_nets(nets)
+
+    def test_patlabor_always_optimal(self, comparison):
+        t3 = table3(comparison)
+        assert all(r.ratios["PatLabor"] == 0.0 for r in t3)
+
+    def test_patlabor_finds_every_frontier_point(self, comparison):
+        t4 = table4(comparison)
+        for r in t4:
+            assert r.found["PatLabor"] == r.frontier_total
+
+    def test_baselines_become_nonoptimal_with_degree(self, comparison):
+        """The paper's trend: YSD/SALT miss more as degree grows."""
+        t4 = table4(comparison)
+        ratios = [
+            (r.degree, r.found["YSD"] / r.frontier_total) for r in t4
+        ]
+        assert ratios[0][1] >= ratios[-1][1] - 1e-9
+
+    def test_patlabor_curve_tightest(self, comparison):
+        nets_by_name = {}
+        suite = Iccad15LikeSuite(seed=11)
+        nets = [
+            n
+            for g in suite.small_nets(degrees=(4, 5, 6), per_degree=6).values()
+            for n in g
+        ]
+        norm = fig7_normalizers(nets)
+        curves = average_curves(comparison, norm.w_refs, norm.d_refs)
+        by_name = {c.method: c for c in curves}
+        ours = by_name["PatLabor"]
+        for other in ("SALT", "YSD"):
+            theirs = by_name[other]
+            # PatLabor's averaged curve is never above a baseline's by
+            # more than float slack at any budget.
+            assert all(
+                a <= b + 1e-9
+                for a, b in zip(ours.mean_delay, theirs.mean_delay)
+            )
+
+
+class TestLutPipeline:
+    def test_build_save_load_route(self, tmp_path, assert_fronts_equal):
+        table = LookupTable.build(degrees=(4,))
+        path = tmp_path / "t.json"
+        save_lut(table, path)
+        router = PatLabor(lut=load_lut(path))
+        rng = random.Random(13)
+        for _ in range(5):
+            net = random_net(4, rng=rng)
+            assert_fronts_equal(
+                router.route(net), pareto_dw(net, with_trees=False)
+            )
+
+    def test_lut_speedup_after_warmup(self):
+        """Cached pattern lookups must beat recomputation by a wide margin."""
+        import time
+
+        table = LookupTable.build(degrees=(4,))
+        rng = random.Random(14)
+        nets = [random_net(4, rng=rng) for _ in range(20)]
+        for net in nets:
+            table.lookup(net)  # warm (all patterns already present: full table)
+        t0 = time.perf_counter()
+        for net in nets:
+            table.lookup(net)
+        lut_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for net in nets:
+            pareto_dw(net)
+        dw_time = time.perf_counter() - t0
+        assert lut_time < dw_time
+
+
+class TestLargeNetPipeline:
+    def test_patlabor_vs_all_baselines_on_large_net(self):
+        from repro.baselines.salt import salt_sweep
+        from repro.baselines.ysd import ysd
+
+        net = random_net(35, rng=random.Random(15))
+        ours = PatLabor(config=PatLaborConfig(seed=1)).route(net)
+        for sols in (salt_sweep(net), ysd(net, weights=(0.0, 0.5, 1.0))):
+            for w, d, _t in sols:
+                # No baseline point strictly dominates our whole front.
+                assert not all(
+                    dominates((w, d), (ow, od)) for ow, od, _ in ours
+                )
+
+    def test_mixed_degree_workload(self):
+        """Route a realistic mixed workload end to end."""
+        suite = Iccad15LikeSuite(seed=16)
+        router = PatLabor()
+        nets = list(suite.all_small(per_degree=2)) + suite.large_nets(count=3)
+        for net in nets:
+            front = router.route(net)
+            assert front
+            for w, d, tree in front:
+                tree.validate()

@@ -1,0 +1,103 @@
+"""Dedicated tests for Lemma 4 (boundary-separator split pruning).
+
+Random continuous nets rarely place *every* sink on the Hanan-grid
+boundary, so the generic pruning-equivalence tests exercise Lemma 4 only
+occasionally. These instances are built so the lemma always fires.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pareto_dw import DWStats, pareto_frontier
+from repro.geometry.net import Net
+
+
+def ring_net(seed: int, n_side: int = 2) -> Net:
+    """All pins on the boundary of their own bounding box (a 'ring')."""
+    rng = random.Random(seed)
+    span = 100.0
+    pts = set()
+    # Pins on each side of the square — every pin is on the Hanan
+    # boundary because it carries an extreme coordinate.
+    for _ in range(n_side):
+        pts.add((rng.uniform(10, 90), 0.0))      # bottom
+        pts.add((rng.uniform(10, 90), span))     # top
+        pts.add((0.0, rng.uniform(10, 90)))      # left
+        pts.add((span, rng.uniform(10, 90)))     # right
+    pts = sorted(pts)
+    return Net.from_points(pts[0], pts[1:], name=f"ring{seed}")
+
+
+class TestLemma4:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_boundary_instance_frontier_unchanged(self, seed, assert_fronts_equal):
+        net = ring_net(seed)
+        with_l4 = pareto_frontier(net, lemma4=True)
+        without = pareto_frontier(net, lemma4=False)
+        assert_fronts_equal(with_l4, without)
+
+    def test_lemma4_actually_fires(self):
+        net = ring_net(1)
+        on, off = DWStats(), DWStats()
+        pareto_frontier(net, lemma4=True, stats=on)
+        pareto_frontier(net, lemma4=False, stats=off)
+        assert on.splits_saved_lemma4 > 0
+        assert on.merge_transitions < off.merge_transitions
+
+    def test_collinear_all_boundary(self, assert_fronts_equal):
+        pins = [(float(i * 3), 0.0) for i in range(9)]
+        net = Net.from_points(pins[4], [p for p in pins if p != pins[4]])
+        assert_fronts_equal(
+            pareto_frontier(net, lemma4=True),
+            pareto_frontier(net, lemma4=False),
+        )
+
+    def test_rectangle_corners(self, assert_fronts_equal):
+        net = Net.from_points((0, 0), [(100, 0), (100, 80), (0, 80)])
+        assert_fronts_equal(
+            pareto_frontier(net, lemma4=True),
+            pareto_frontier(net, lemma4=False),
+        )
+
+    def test_mixed_interior_disables_lemma(self):
+        """One interior sink must disable the consecutive-split shortcut
+        (boundary_rank returns None), falling back to full enumeration —
+        and still be correct."""
+        net = Net.from_points(
+            (0, 0), [(100, 0), (100, 100), (0, 100), (37, 61)]
+        )
+        on = pareto_frontier(net, lemma4=True)
+        off = pareto_frontier(net, lemma4=False)
+        assert on == off
+
+
+class TestLemma4LutGeneration:
+    def test_symbolic_solver_boundary_pattern(self):
+        """The identity permutation puts every pin on the pattern-grid
+        diagonal — only the two extreme pins are on the boundary, so the
+        lemma must not fire; a 'staircase around the edge' pattern places
+        all pins on the boundary and must still be exact."""
+        from repro.lut.generator import solve_pattern
+
+        rng = random.Random(2)
+        # Pattern with all pins on the pattern-grid boundary: rows/cols at
+        # extremes: perm (0, 3, 1, 2)? Rows {0,3} are boundary; rows 1, 2
+        # are interior unless the column is 0/3. Build one explicitly:
+        # columns 0..3, rows (1, 0, 3, 2): pins (0,1),(1,0),(2,3),(3,2):
+        # (0,1) col 0 -> boundary; (1,0) row 0 -> boundary;
+        # (2,3) row 3 -> boundary; (3,2) col 3 -> boundary.
+        perm = (1, 0, 3, 2)
+        fast = solve_pattern(perm, 0, lemma4=True)
+        full = solve_pattern(perm, 0, lemma4=False)
+        for _ in range(10):
+            gaps = [rng.uniform(0.5, 5.0) for _ in range(6)]
+            def front(ps):
+                vals = sorted(s.evaluate(gaps) for s in ps.solutions)
+                out, bd = [], float("inf")
+                for w, d in vals:
+                    if d < bd - 1e-9:
+                        out.append((round(w, 6), round(d, 6)))
+                        bd = d
+                return out
+            assert front(fast) == front(full)

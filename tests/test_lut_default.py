@@ -1,0 +1,49 @@
+"""Tests for the shipped default lookup table."""
+
+import random
+
+import pytest
+
+from repro.core.pareto_dw import pareto_frontier
+from repro.lut.default import DATA_FILE, default_router, default_table
+
+
+class TestDefaultTable:
+    def test_data_file_ships(self):
+        assert DATA_FILE.exists(), "shipped LUT data missing from the package"
+
+    def test_covers_degrees_4_to_6(self):
+        table = default_table()
+        assert table.degrees == [4, 5, 6]
+        for n in (2, 3, 4, 5, 6):
+            assert table.covers(n)
+
+    def test_full_enumeration(self):
+        table = default_table()
+        assert table.stats[4].num_index == 16
+        assert table.stats[5].num_index == 89
+        assert table.stats[6].num_index == 579
+        assert not table.stats[6].sampled
+
+    def test_degree6_topo_count_near_paper(self):
+        """Paper Table II: avg #Topo = 10.67 at degree 6."""
+        table = default_table()
+        assert 7.0 <= table.stats[6].avg_topologies <= 14.0
+
+    def test_cached_singleton(self):
+        assert default_table() is default_table()
+
+    @pytest.mark.parametrize("degree", [4, 5, 6])
+    def test_exact_against_dw(self, degree, assert_fronts_equal):
+        router = default_router()
+        rng = random.Random(degree * 7)
+        for _ in range(4):
+            from repro.geometry.net import random_net
+
+            net = random_net(degree, rng=rng)
+            assert_fronts_equal(router.route(net), pareto_frontier(net))
+
+    def test_default_router_config_kwargs(self):
+        router = default_router(iterations=2, seed=5)
+        assert router.config.iterations == 2
+        assert router.config.seed == 5

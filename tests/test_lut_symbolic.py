@@ -1,0 +1,176 @@
+"""Tests for symbolic solutions and Lemma 1 pruning (both decision modes)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lut.symbolic import (
+    SymbolicSolution,
+    merge_solutions,
+    prune_front,
+    row_covered_componentwise,
+    row_covered_lp,
+    shift_solution,
+    symbolic_dominates,
+)
+
+M = 4  # parameter count used across these tests
+vec = st.tuples(*[st.integers(0, 4) for _ in range(M)])
+rows = st.lists(vec, min_size=1, max_size=3).map(tuple)
+
+
+def sol(w, rws):
+    return SymbolicSolution(tuple(w), tuple(tuple(r) for r in rws), None)
+
+
+class TestAlgebra:
+    def test_shift_adds_everywhere(self):
+        s = sol([1, 0, 0, 0], [[0, 1, 0, 0]])
+        out = shift_solution(s, (0, 0, 1, 1), "p")
+        assert out.w == (1, 0, 1, 1)
+        assert out.rows == ((0, 1, 1, 1),)
+        assert out.payload == "p"
+
+    def test_merge_adds_w_concats_rows(self):
+        a = sol([1, 0, 0, 0], [[1, 0, 0, 0]])
+        b = sol([0, 1, 0, 0], [[0, 1, 0, 0]])
+        out = merge_solutions(a, b, "m")
+        assert out.w == (1, 1, 0, 0)
+        assert out.rows == ((1, 0, 0, 0), (0, 1, 0, 0))
+
+    def test_evaluate(self):
+        s = sol([1, 1, 0, 0], [[1, 0, 0, 0], [0, 1, 0, 0]])
+        w, d = s.evaluate([2.0, 5.0, 0.0, 0.0])
+        assert w == 7 and d == 5
+
+    def test_canonical_sorts_rows(self):
+        a = sol([1, 0, 0, 0], [[1, 0, 0, 0], [0, 1, 0, 0]])
+        b = sol([1, 0, 0, 0], [[0, 1, 0, 0], [1, 0, 0, 0]])
+        assert a.canonical() == b.canonical()
+
+
+class TestRowCoverage:
+    def test_componentwise_positive(self):
+        assert row_covered_componentwise((1, 0, 1, 0), [(1, 1, 1, 0)])
+
+    def test_componentwise_negative(self):
+        assert not row_covered_componentwise((2, 0, 0, 0), [(1, 1, 1, 1)])
+
+    def test_lp_agrees_on_componentwise_cases(self):
+        assert row_covered_lp((1, 0, 1, 0), [(1, 1, 1, 0)])
+
+    def test_lp_detects_max_coverage(self):
+        """Row (1,1,0,0) is NOT under any single row of
+        {(2,0,0,0),(0,2,0,0)} but IS under their max: for any l >= 0,
+        l1+l2 <= max(2*l1, 2*l2)."""
+        row = (1, 1, 0, 0)
+        others = [(2, 0, 0, 0), (0, 2, 0, 0)]
+        assert not row_covered_componentwise(row, others)
+        assert row_covered_lp(row, others)
+
+    def test_lp_negative(self):
+        # (3,3,0,0) at l=(1,1): 6 > max(2,2)=2: not covered.
+        assert not row_covered_lp((3, 3, 0, 0), [(2, 0, 0, 0), (0, 2, 0, 0)])
+
+    def test_lp_empty_rows(self):
+        assert row_covered_lp((0, 0, 0, 0), [])
+        assert not row_covered_lp((1, 0, 0, 0), [])
+
+    @settings(max_examples=40, deadline=None)
+    @given(vec, rows)
+    def test_lp_never_stricter_than_componentwise(self, row, others):
+        if row_covered_componentwise(row, list(others)):
+            assert row_covered_lp(row, list(others))
+
+    @settings(max_examples=30, deadline=None)
+    @given(vec, rows)
+    def test_lp_decision_matches_sampling(self, row, others):
+        """Randomised soundness: if the LP says covered, no sampled
+        nonnegative l disproves it."""
+        if row_covered_lp(row, list(others)):
+            rng = random.Random(0)
+            for _ in range(50):
+                l = [rng.uniform(0, 1) for _ in range(M)]
+                lhs = sum(c * x for c, x in zip(row, l))
+                rhs = max(
+                    (sum(c * x for c, x in zip(r, l)) for r in others),
+                    default=0.0,
+                )
+                assert lhs <= rhs + 1e-7
+
+
+class TestDominance:
+    def test_identical_dominates(self):
+        a = sol([1, 1, 0, 0], [[1, 0, 0, 0]])
+        b = sol([1, 1, 0, 0], [[1, 0, 0, 0]])
+        assert symbolic_dominates(a, b)
+
+    def test_w_blocks_dominance(self):
+        a = sol([2, 0, 0, 0], [[0, 0, 0, 0]])
+        b = sol([1, 1, 0, 0], [[1, 1, 1, 1]])
+        assert not symbolic_dominates(a, b)  # w not componentwise <=
+
+    def test_lp_mode_prunes_more(self):
+        a = sol([0, 0, 0, 0], [[1, 1, 0, 0]])
+        b = sol([1, 0, 0, 0], [[2, 0, 0, 0], [0, 2, 0, 0]])
+        assert not symbolic_dominates(a, b, mode="componentwise")
+        assert symbolic_dominates(a, b, mode="lp")
+
+    def test_unknown_mode_raises(self):
+        a = sol([0] * 4, [[0] * 4])
+        with pytest.raises(ValueError):
+            symbolic_dominates(a, a, mode="magic")
+
+
+class TestPruneFront:
+    def test_removes_duplicates(self):
+        a = sol([1, 0, 0, 0], [[1, 0, 0, 0]])
+        b = sol([1, 0, 0, 0], [[1, 0, 0, 0]])
+        assert len(prune_front([a, b])) == 1
+
+    def test_removes_dominated(self):
+        good = sol([1, 0, 0, 0], [[1, 0, 0, 0]])
+        bad = sol([2, 1, 0, 0], [[2, 1, 0, 0]])
+        out = prune_front([good, bad])
+        assert out == [good]
+
+    def test_keeps_incomparable(self):
+        a = sol([2, 0, 0, 0], [[1, 0, 0, 0]])
+        b = sol([0, 2, 0, 0], [[0, 1, 0, 0]])
+        assert len(prune_front([a, b])) == 2
+
+    def test_lp_mode_never_keeps_more(self):
+        rng = random.Random(3)
+        sols = []
+        for _ in range(12):
+            w = tuple(rng.randint(0, 3) for _ in range(M))
+            rws = tuple(
+                tuple(rng.randint(0, 3) for _ in range(M))
+                for _ in range(rng.randint(1, 2))
+            )
+            sols.append(SymbolicSolution(w, rws, None))
+        cw = prune_front(sols, mode="componentwise")
+        lp = prune_front(sols, mode="lp")
+        assert len(lp) <= len(cw)
+
+    def test_pruning_is_safe_under_sampling(self):
+        """Anything pruned is weakly dominated at every sampled gap vector
+        by some survivor — the soundness property the LUT relies on."""
+        rng = random.Random(4)
+        sols = []
+        for _ in range(10):
+            w = tuple(rng.randint(0, 3) for _ in range(M))
+            rws = (tuple(rng.randint(0, 3) for _ in range(M)),)
+            sols.append(SymbolicSolution(w, rws, None))
+        kept = prune_front(sols, mode="lp")
+        for s in sols:
+            for _ in range(30):
+                gaps = [rng.uniform(0, 5) for _ in range(M)]
+                sw, sd = s.evaluate(gaps)
+                assert any(
+                    k.evaluate(gaps)[0] <= sw + 1e-7
+                    and k.evaluate(gaps)[1] <= sd + 1e-7
+                    for k in kept
+                )

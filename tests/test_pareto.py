@@ -1,0 +1,203 @@
+"""Unit + property tests for the Pareto set algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import (
+    attains_frontier,
+    clean_front,
+    count_on_frontier,
+    cross,
+    dominates,
+    epsilon_indicator,
+    front_at_wirelength,
+    hypervolume,
+    is_pareto_front,
+    merge_fronts,
+    normalized_front,
+    objectives,
+    pareto_filter,
+    shift,
+    weakly_dominates,
+)
+
+obj = st.tuples(
+    st.floats(0, 1e6, allow_nan=False), st.floats(0, 1e6, allow_nan=False)
+)
+sols = st.lists(obj.map(lambda p: (p[0], p[1], None)), max_size=40)
+
+
+class TestDominance:
+    def test_strict(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+        assert weakly_dominates((1, 1), (1, 1))
+
+    @given(obj, obj)
+    def test_antisymmetry(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestParetoFilter:
+    def test_simple(self):
+        front = pareto_filter([(3, 1, "a"), (1, 3, "b"), (2, 2, "c"), (3, 3, "d")])
+        assert [(s[0], s[1]) for s in front] == [(1, 3), (2, 2), (3, 1)]
+
+    def test_duplicates_keep_one(self):
+        front = pareto_filter([(1, 1, "first"), (1, 1, "second")])
+        assert len(front) == 1
+
+    def test_empty_and_singleton(self):
+        assert pareto_filter([]) == []
+        assert pareto_filter([(1, 2, None)]) == [(1, 2, None)]
+
+    @given(sols)
+    def test_output_is_antichain(self, solutions):
+        front = pareto_filter(solutions)
+        assert is_pareto_front(front)
+
+    @given(sols)
+    def test_every_input_dominated_or_kept(self, solutions):
+        front = pareto_filter(solutions)
+        front_objs = objectives(front)
+        for s in solutions:
+            assert any(weakly_dominates(f, (s[0], s[1])) for f in front_objs)
+
+    @given(sols)
+    def test_idempotent(self, solutions):
+        once = pareto_filter(solutions)
+        assert pareto_filter(once) == once
+
+    @given(sols)
+    def test_sorted_by_wirelength(self, solutions):
+        front = pareto_filter(solutions)
+        ws = [s[0] for s in front]
+        assert ws == sorted(ws)
+
+
+class TestAlgebra:
+    def test_shift(self):
+        assert shift([(1, 2, "x")], 5) == [(6, 7, "x")]
+
+    def test_shift_rewrap(self):
+        out = shift([(1, 2, "x")], 5, rewrap=lambda s: ("wrapped", s[2]))
+        assert out == [(6, 7, ("wrapped", "x"))]
+
+    def test_cross_objectives(self):
+        s1 = [(1, 5, "a")]
+        s2 = [(2, 3, "b")]
+        out = cross(s1, s2)
+        assert [(s[0], s[1]) for s in out] == [(3, 5)]
+
+    def test_cross_max_semantics(self):
+        out = cross([(0, 10, None)], [(0, 4, None)])
+        assert out[0][1] == 10
+
+    def test_cross_filters(self):
+        s1 = [(1, 5, None), (2, 4, None)]
+        s2 = [(1, 5, None), (2, 4, None)]
+        out = cross(s1, s2)
+        assert is_pareto_front(out)
+
+    @given(sols, sols)
+    def test_cross_size_bound(self, s1, s2):
+        f1, f2 = pareto_filter(s1), pareto_filter(s2)
+        out = cross(f1, f2)
+        if f1 and f2:
+            # Product of fronts of sizes a,b has at most a+b-1 optima.
+            assert len(out) <= len(f1) + len(f2) - 1
+
+    def test_merge_fronts(self):
+        out = merge_fronts([(1, 3, None)], [(2, 2, None)], [(2, 4, None)])
+        assert [(s[0], s[1]) for s in out] == [(1, 3), (2, 2)]
+
+
+class TestCleanFront:
+    def test_collapses_float_noise_in_w(self):
+        eps = 1e-13
+        out = clean_front([(100.0, 50.0, "bad"), (100.0 + eps, 40.0, "good")])
+        assert len(out) == 1
+        assert out[0][2] == "good"
+
+    def test_collapses_float_noise_in_d(self):
+        eps = 1e-13
+        out = clean_front([(100.0, 50.0, "a"), (120.0, 50.0 - eps, "b")])
+        assert len(out) == 1
+        assert out[0][2] == "a"
+
+    def test_keeps_genuine_points(self):
+        pts = [(100.0, 50.0, None), (110.0, 40.0, None), (130.0, 10.0, None)]
+        assert clean_front(pts) == pts
+
+    @given(sols)
+    def test_subset_of_pareto_filter(self, solutions):
+        cleaned = clean_front(solutions)
+        full = pareto_filter(solutions)
+        assert len(cleaned) <= len(full)
+        assert is_pareto_front(cleaned)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([(1, 1, None)], (3, 3)) == 4
+
+    def test_two_points(self):
+        hv = hypervolume([(1, 2, None), (2, 1, None)], (3, 3))
+        # Stacked rectangles: (3-1)*(3-2) + (3-2)*(2-1) = 3.
+        assert hv == 3
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume([(5, 5, None)], (3, 3)) == 0
+
+    @given(sols)
+    def test_monotone_in_solutions(self, solutions):
+        ref = (2e6, 2e6)
+        hv_all = hypervolume(solutions, ref)
+        hv_half = hypervolume(solutions[: len(solutions) // 2], ref)
+        assert hv_all >= hv_half - 1e-9 * max(1.0, hv_half)
+
+
+class TestIndicators:
+    def test_epsilon_perfect_match(self):
+        f = [(1, 2, None), (2, 1, None)]
+        assert epsilon_indicator(f, f) == 1.0
+
+    def test_epsilon_factor(self):
+        ref = [(1.0, 1.0, None)]
+        cand = [(2.0, 1.5, None)]
+        assert epsilon_indicator(cand, ref) == 2.0
+
+    def test_epsilon_empty_candidate(self):
+        assert epsilon_indicator([], [(1, 1, None)]) == float("inf")
+
+    def test_epsilon_empty_reference(self):
+        assert epsilon_indicator([(1, 1, None)], []) == 1.0
+
+    def test_count_on_frontier(self):
+        frontier = [(1, 3, None), (2, 2, None), (3, 1, None)]
+        cand = [(1, 3, None), (3, 1, None), (9, 9, None)]
+        assert count_on_frontier(cand, frontier) == 2
+
+    def test_attains_frontier(self):
+        frontier = [(1, 3, None), (3, 1, None)]
+        assert attains_frontier([(3, 1, None)], frontier)
+        assert not attains_frontier([(2, 5, None)], frontier)
+
+    def test_normalized_front(self):
+        out = normalized_front([(10, 20, None)], 10, 10)
+        assert out == [(1.0, 2.0)]
+
+    def test_normalized_rejects_bad_refs(self):
+        with pytest.raises(ValueError):
+            normalized_front([(1, 1, None)], 0, 1)
+
+    def test_front_at_wirelength(self):
+        front = [(1, 3, None), (2, 2, None), (3, 1, None)]
+        assert front_at_wirelength(front, 2.5) == (2, 2)
+        assert front_at_wirelength(front, 0.5) is None

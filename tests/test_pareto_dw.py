@@ -1,0 +1,166 @@
+"""Correctness tests for the exact Pareto-DW dynamic program.
+
+The strongest oracle is the shared-nothing brute-force enumerator
+(degree <= 4); above that the suite cross-checks pruning configurations
+against each other and pins the frontier's endpoints to independently
+computed optima.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_frontier
+from repro.baselines.dreyfus_wagner import steiner_min_tree
+from repro.baselines.rsma import rsma
+from repro.core.pareto import dominates, is_pareto_front
+from repro.core.pareto_dw import DWStats, pareto_dw, pareto_frontier
+from repro.exceptions import DegreeTooLargeError
+from repro.geometry.net import Net, random_net
+from repro.routing.validate import check_tree
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_degree4_matches_oracle(self, seed):
+        net = random_net(4, rng=random.Random(seed), grid=8, span=70)
+        assert pareto_frontier(net) == brute_force_frontier(net)
+
+    def test_degree3_matches_oracle(self):
+        for seed in range(5):
+            net = random_net(3, rng=random.Random(seed), grid=6, span=50)
+            assert pareto_frontier(net) == brute_force_frontier(net)
+
+    def test_degree2(self):
+        net = Net.from_points((0, 0), [(7, 4)])
+        assert pareto_frontier(net) == [(11.0, 11.0)]
+
+
+class TestPruningEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_configs_agree(self, seed, assert_fronts_equal):
+        net = random_net(6, rng=random.Random(seed), grid=12, span=100)
+        reference = pareto_frontier(
+            net, lemma2=False, lemma3=False, lemma4=False
+        )
+        for l2 in (False, True):
+            for l3 in (False, True):
+                for l4 in (False, True):
+                    got = pareto_frontier(net, lemma2=l2, lemma3=l3, lemma4=l4)
+                    assert_fronts_equal(got, reference)
+
+    def test_pruning_reduces_work(self):
+        net = random_net(7, rng=random.Random(3))
+        on, off = DWStats(), DWStats()
+        pareto_frontier(net, stats=on)
+        pareto_frontier(net, lemma2=False, lemma3=False, lemma4=False, stats=off)
+        assert on.grid_nodes <= off.grid_nodes
+        assert on.merge_transitions < off.merge_transitions
+
+    def test_stats_populated(self):
+        net = random_net(5, rng=random.Random(1))
+        st = DWStats()
+        pareto_frontier(net, stats=st)
+        assert st.subsets == 2 ** 4 - 1
+        assert st.max_front_size >= 1
+
+
+class TestFrontierEndpoints:
+    """Independent anchors: min-w equals the exact RSMT, min-d equals the
+    L1 lower bound (always achievable by an arborescence)."""
+
+    @pytest.mark.parametrize("degree", [4, 5, 6, 7])
+    def test_endpoints(self, degree):
+        rng = random.Random(degree * 17)
+        for _ in range(3):
+            net = random_net(degree, rng=rng)
+            front = pareto_frontier(net)
+            assert abs(front[0][0] - steiner_min_tree(net).wirelength()) < 1e-6
+            assert abs(front[-1][1] - net.delay_lower_bound()) < 1e-6
+
+    def test_min_delay_matches_rsma(self):
+        rng = random.Random(55)
+        for _ in range(3):
+            net = random_net(6, rng=rng)
+            front = pareto_frontier(net)
+            assert abs(front[-1][1] - rsma(net).delay()) < 1e-6
+
+
+class TestFrontierStructure:
+    def test_is_antichain(self):
+        rng = random.Random(2)
+        for _ in range(5):
+            net = random_net(7, rng=rng)
+            assert is_pareto_front(
+                [(w, d, None) for w, d in pareto_frontier(net)]
+            )
+
+    def test_trees_realize_objectives(self):
+        rng = random.Random(10)
+        for _ in range(5):
+            net = random_net(6, rng=rng)
+            for w, d, tree in pareto_dw(net):
+                tw, td = tree.objective()
+                assert tw <= w + 1e-6 and td <= d + 1e-6
+                check_tree(tree, hanan=True)
+
+    def test_no_heuristic_beats_frontier(self):
+        from repro.baselines.salt import salt_sweep
+        from repro.baselines.ysd import ysd
+        from repro.baselines.prim_dijkstra import pd_sweep
+
+        rng = random.Random(21)
+        net = random_net(7, rng=rng)
+        frontier = pareto_frontier(net)
+        tol = max(max(fw, fd) for fw, fd in frontier) * 1e-9
+        for sols in (salt_sweep(net), ysd(net), pd_sweep(net)):
+            for w, d, _t in sols:
+                for fw, fd in frontier:
+                    # "Strictly better than a frontier point" beyond float
+                    # noise would disprove exactness.
+                    significantly_dominates = (
+                        w <= fw + tol
+                        and d <= fd + tol
+                        and (w < fw - tol or d < fd - tol)
+                    )
+                    assert not significantly_dominates
+
+    def test_with_and_without_trees_agree(self, assert_fronts_equal):
+        rng = random.Random(31)
+        for _ in range(5):
+            net = random_net(6, rng=rng)
+            assert_fronts_equal(
+                pareto_dw(net, with_trees=False), pareto_dw(net)
+            )
+
+
+class TestDegenerateInputs:
+    def test_collinear_pins(self, line_net):
+        front = pareto_frontier(line_net)
+        assert front == [(20.0, 20.0)]
+
+    def test_shared_coordinates(self):
+        net = Net.from_points((0, 0), [(0, 10), (10, 0), (10, 10)])
+        front = pareto_frontier(net)
+        # The square: RSMT = 30, and every sink reachable at L1 distance.
+        assert front[0][0] == 30.0
+        assert front[-1][1] == 20.0
+
+    def test_tiny_coordinates(self):
+        net = Net.from_points((0, 0), [(1e-7, 2e-7), (3e-7, 1e-7)])
+        front = pareto_frontier(net)
+        assert len(front) >= 1
+        assert front[0][0] > 0
+
+    def test_degree_limit_enforced(self):
+        net = random_net(13, rng=random.Random(0))
+        with pytest.raises(DegreeTooLargeError):
+            pareto_frontier(net)
+
+    def test_degree_limit_overridable(self):
+        # 13 collinear pins: a degenerate Hanan grid where Lemma 4 keeps
+        # the subset enumeration polynomial, so the override is feasible.
+        pins = [(float(i), 0.0) for i in range(13)]
+        net = Net.from_points(pins[6], [p for p in pins if p != pins[6]])
+        front = pareto_frontier(net, max_degree=13)
+        assert front == [(12.0, 6.0)]

@@ -1,0 +1,141 @@
+"""Tests for the PatLabor driver: dispatch, optimality, local search."""
+
+import random
+
+import pytest
+
+from repro.core.pareto import dominates, is_pareto_front, weakly_dominates
+from repro.core.pareto_dw import pareto_dw, pareto_frontier
+from repro.core.patlabor import PatLabor, PatLaborConfig, reassemble
+from repro.core.policy import SelectionPolicy
+from repro.geometry.net import Net, random_net
+from repro.routing.validate import check_tree
+
+
+class TestSmallDegreeDispatch:
+    def test_degree2_single_solution(self):
+        net = Net.from_points((0, 0), [(3, 4)])
+        front = PatLabor().route(net)
+        assert len(front) == 1
+        assert front[0][:2] == (7.0, 7.0)
+
+    def test_degree3_median_star(self):
+        net = Net.from_points((0, 0), [(10, 2), (4, 8)])
+        front = PatLabor().route(net)
+        assert len(front) == 1
+        w, d, tree = front[0]
+        # The median star is simultaneously optimal in both objectives:
+        # median point (4, 2), three spokes of length 6 = HPWL = 18.
+        assert w == 18
+        assert d == 12
+        check_tree(tree, hanan=True)
+
+    @pytest.mark.parametrize("degree", [4, 5, 6, 7])
+    def test_exact_for_small_degrees(self, degree, assert_fronts_equal):
+        rng = random.Random(degree)
+        for _ in range(3):
+            net = random_net(degree, rng=rng)
+            assert_fronts_equal(
+                PatLabor().route(net), pareto_dw(net, with_trees=False)
+            )
+
+    def test_uses_lut_when_supplied(self, lut45, assert_fronts_equal):
+        rng = random.Random(77)
+        router = PatLabor(lut=lut45)
+        for _ in range(5):
+            net = random_net(5, rng=rng)
+            assert_fronts_equal(router.route(net), pareto_dw(net, with_trees=False))
+
+
+class TestLocalSearch:
+    def test_front_contains_rsmt_wirelength(self):
+        from repro.baselines.rsmt import rsmt
+
+        net = random_net(20, rng=random.Random(1))
+        front = PatLabor().route(net)
+        w_rsmt = rsmt(net).wirelength()
+        assert front[0][0] <= w_rsmt + 1e-9
+
+    def test_front_is_antichain_of_valid_trees(self):
+        net = random_net(25, rng=random.Random(2))
+        front = PatLabor().route(net)
+        assert is_pareto_front(front)
+        for w, d, tree in front:
+            check_tree(tree)
+            assert abs(tree.wirelength() - w) < 1e-6
+            assert abs(tree.delay() - d) < 1e-6
+
+    def test_iterations_improve_delay(self):
+        """The local search must push delay meaningfully below the RSMT's."""
+        from repro.baselines.rsmt import rsmt
+
+        net = random_net(30, rng=random.Random(3))
+        seed_delay = rsmt(net).delay()
+        front = PatLabor().route(net)
+        assert min(d for _w, d, _t in front) < seed_delay
+
+    def test_iterations_config_respected(self):
+        net = random_net(24, rng=random.Random(4))
+        quick = PatLabor(config=PatLaborConfig(iterations=1))
+        deep = PatLabor(config=PatLaborConfig(iterations=6))
+        f_quick = quick.route(net)
+        f_deep = deep.route(net)
+        # More iterations never hurt the best achieved delay.
+        assert min(d for _w, d, _t in f_deep) <= min(
+            d for _w, d, _t in f_quick
+        ) + 1e-9
+
+    def test_deterministic_given_seed(self):
+        net = random_net(18, rng=random.Random(6))
+        a = [(w, d) for w, d, _ in PatLabor(config=PatLaborConfig(seed=5)).route(net)]
+        b = [(w, d) for w, d, _ in PatLabor(config=PatLaborConfig(seed=5)).route(net)]
+        assert a == b
+
+    def test_dominates_or_ties_salt_everywhere(self):
+        """Paper claim: PatLabor's curve is at least as tight as SALT's.
+
+        Checked as: no SALT solution strictly dominates every PatLabor
+        solution (SALT never strictly improves on the whole front)."""
+        from repro.baselines.salt import salt_sweep
+
+        rng = random.Random(8)
+        for _ in range(2):
+            net = random_net(15, rng=rng)
+            ours = PatLabor().route(net)
+            theirs = salt_sweep(net)
+            for w, d, _t in theirs:
+                assert not all(
+                    dominates((w, d), (ow, od)) for ow, od, _ in ours
+                )
+
+
+class TestReassemble:
+    def test_spans_and_preserves_subtree_root(self):
+        net = random_net(12, rng=random.Random(10))
+        sub = Net.from_points(net.source, list(net.sinks[:5]))
+        sub_front = pareto_dw(sub)
+        rest = list(net.sinks[5:])
+        for _w, _d, sub_tree in sub_front:
+            full = reassemble(net, sub_tree, rest)
+            check_tree(full)
+
+    def test_no_rest_pins(self):
+        net = random_net(6, rng=random.Random(11))
+        sub_front = pareto_dw(net)
+        for _w, _d, sub_tree in sub_front:
+            full = reassemble(net, sub_tree, [])
+            assert abs(full.wirelength() - sub_tree.wirelength()) < 1e-9
+
+
+class TestPolicyIntegration:
+    def test_custom_policy_is_used(self):
+        calls = []
+
+        class Probe(SelectionPolicy):
+            def select(self, net, tree, k):
+                calls.append(k)
+                return super().select(net, tree, k)
+
+        router = PatLabor(policy=Probe(), config=PatLaborConfig(lam=6))
+        router.route(random_net(14, rng=random.Random(12)))
+        assert calls and all(k == 5 for k in calls)

@@ -1,0 +1,125 @@
+"""Tests for the pin-selection policy and its trainer."""
+
+import random
+
+import pytest
+
+from repro.baselines.rsmt import rsmt
+from repro.core.policy import (
+    DEFAULT_PARAMS,
+    PolicyParams,
+    SelectionPolicy,
+    pin_features,
+    random_selection,
+    train_policy,
+)
+from repro.exceptions import PolicyError
+from repro.geometry.net import Net, random_net
+from repro.geometry.point import l1
+
+
+class TestPolicyParams:
+    def test_rejects_negative(self):
+        with pytest.raises(PolicyError):
+            PolicyParams(1.0, -0.1, 0.0, 0.0)
+
+    def test_as_array(self):
+        a = PolicyParams(1, 2, 3, 4).as_array()
+        assert list(a) == [1, 2, 3, 4]
+
+
+class TestFeatures:
+    def test_first_selection_has_zero_compactness_terms(self):
+        net = random_net(12, rng=random.Random(1))
+        tree = rsmt(net)
+        f1, f2, f3, f4 = pin_features(net, tree, 0, [], tree.sink_delays())
+        assert f3 == 0.0 and f4 == 0.0
+        assert f1 >= 0 and f2 >= f1 - 1e-9  # tree path >= L1 distance
+
+    def test_features_scale_free(self):
+        net = random_net(10, rng=random.Random(2))
+        tree = rsmt(net)
+        big = net.scaled(100.0)
+        big_tree = rsmt(big)
+        d, bd = tree.sink_delays(), big_tree.sink_delays()
+        for i in range(3):
+            f = pin_features(net, tree, i, [0], d)
+            g = pin_features(big, big_tree, i, [0], bd)
+            for a, b in zip(f, g):
+                assert abs(a - b) < 1e-6
+
+    def test_compactness_terms_positive_after_selection(self):
+        net = random_net(12, rng=random.Random(3))
+        tree = rsmt(net)
+        _, _, f3, f4 = pin_features(net, tree, 2, [5, 7], tree.sink_delays())
+        assert f3 > 0 and f4 > 0
+
+
+class TestSelection:
+    def test_selects_k_distinct(self):
+        net = random_net(20, rng=random.Random(4))
+        sel = SelectionPolicy().select(net, rsmt(net), 7)
+        assert len(sel) == 7
+        assert len(set(sel)) == 7
+
+    def test_selects_all_when_k_exceeds_sinks(self):
+        net = random_net(5, rng=random.Random(5))
+        sel = SelectionPolicy().select(net, rsmt(net), 10)
+        assert sorted(sel) == [0, 1, 2, 3]
+
+    def test_first_pick_is_far_from_source(self):
+        """With the shipped weights (a1, a2 > 0), the first selected pin
+        must be a deep/far one — the delay-critical region."""
+        net = random_net(15, rng=random.Random(6))
+        tree = rsmt(net)
+        sel = SelectionPolicy().select(net, tree, 3)
+        delays = tree.sink_delays()
+        assert delays[sel[0]] >= sorted(delays)[len(delays) // 2]
+
+    def test_params_for_nearest_degree(self):
+        policy = SelectionPolicy({10: PolicyParams(1, 1, 0, 0), 100: PolicyParams(0, 1, 1, 1)})
+        assert policy.params_for(12) == policy.params[10]
+        assert policy.params_for(90) == policy.params[100]
+        assert policy.params_for(10) == policy.params[10]
+
+    def test_empty_params_raises(self):
+        with pytest.raises(PolicyError):
+            SelectionPolicy({}).params_for(10)
+
+    def test_exploration_rng_changes_selection_sometimes(self):
+        net = random_net(20, rng=random.Random(8))
+        tree = rsmt(net)
+        base = SelectionPolicy().select(net, tree, 5)
+        seen_different = False
+        for seed in range(10):
+            sel = SelectionPolicy(rng=random.Random(seed)).select(net, tree, 5)
+            if sel != base:
+                seen_different = True
+                break
+        assert seen_different
+
+    def test_random_selection_valid(self):
+        net = random_net(15, rng=random.Random(9))
+        sel = random_selection(net, 6, random.Random(1))
+        assert len(sel) == 6 and len(set(sel)) == 6
+        assert all(0 <= i < 14 for i in sel)
+
+
+class TestTraining:
+    def test_train_policy_returns_nonnegative_params(self):
+        params = train_policy(
+            degrees=(10,), nets_per_degree=2, rollouts=4, lam=6, seed=1
+        )
+        assert 10 in params
+        p = params[10]
+        assert min(p.a1, p.a2, p.a3, p.a4) >= 0
+
+    def test_curriculum_produces_params_per_degree(self):
+        params = train_policy(
+            degrees=(10, 12), nets_per_degree=2, rollouts=3, lam=6, seed=2
+        )
+        assert set(params) == {10, 12}
+
+    def test_default_params_cover_training_range(self):
+        assert min(DEFAULT_PARAMS) == 10
+        assert max(DEFAULT_PARAMS) == 100

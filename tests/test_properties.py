@@ -1,0 +1,132 @@
+"""Property-based invariants across the whole stack (hypothesis)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rsma import rsma
+from repro.baselines.rsmt import rsmt
+from repro.baselines.salt import salt
+from repro.core.pareto_dw import pareto_frontier
+from repro.core.patlabor import PatLabor
+from repro.geometry.hanan import HananGrid
+from repro.geometry.net import Net
+from repro.geometry.point import l1
+
+# Nets drawn on an integer grid keep all arithmetic exact, so invariants
+# can be asserted without tolerances.
+coords = st.integers(0, 40)
+
+
+@st.composite
+def nets(draw, min_degree=2, max_degree=7):
+    n = draw(st.integers(min_degree, max_degree))
+    pts = set()
+    while len(pts) < n:
+        pts.add((draw(coords), draw(coords)))
+    pts = sorted(pts)
+    rng = random.Random(draw(st.integers(0, 10**6)))
+    rng.shuffle(pts)
+    return Net.from_points(pts[0], pts[1:])
+
+
+slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.large_base_example,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+
+class TestFrontierInvariants:
+    @slow
+    @given(nets(max_degree=6))
+    def test_endpoints_bound_frontier(self, net):
+        front = pareto_frontier(net)
+        # Wirelength endpoint is the RSMT; delay endpoint is the L1 bound.
+        assert front[0][0] <= rsmt(net).wirelength() + 1e-9
+        assert abs(front[-1][1] - net.delay_lower_bound()) < 1e-9
+
+    @slow
+    @given(nets(max_degree=6))
+    def test_frontier_strictly_monotone(self, net):
+        front = pareto_frontier(net)
+        for (w1, d1), (w2, d2) in zip(front, front[1:]):
+            assert w1 < w2 and d1 > d2
+
+    @slow
+    @given(nets(max_degree=6))
+    def test_frontier_invariant_under_translation(self, net):
+        moved = net.translated(13, 7)
+        assert pareto_frontier(net) == pareto_frontier(moved)
+
+    @slow
+    @given(nets(max_degree=6))
+    def test_frontier_scales_linearly(self, net):
+        front = pareto_frontier(net)
+        scaled = pareto_frontier(net.scaled(3.0))
+        assert len(front) == len(scaled)
+        for (w, d), (sw, sd) in zip(front, scaled):
+            assert abs(sw - 3 * w) < 1e-6 and abs(sd - 3 * d) < 1e-6
+
+    @slow
+    @given(nets(max_degree=6))
+    def test_frontier_invariant_under_mirror(self, net):
+        mirrored = Net.from_points(
+            (-net.source.x, net.source.y),
+            [(-s.x, s.y) for s in net.sinks],
+        )
+        assert pareto_frontier(net) == pareto_frontier(mirrored)
+
+    @slow
+    @given(nets(max_degree=6))
+    def test_frontier_invariant_under_transpose(self, net):
+        swapped = Net.from_points(
+            (net.source.y, net.source.x),
+            [(s.y, s.x) for s in net.sinks],
+        )
+        assert pareto_frontier(net) == pareto_frontier(swapped)
+
+
+class TestAlgorithmInvariants:
+    @slow
+    @given(nets(min_degree=3, max_degree=8))
+    def test_rsma_is_shortest_path_tree(self, net):
+        t = rsma(net)
+        for sink, pl in zip(net.sinks, t.sink_delays()):
+            assert abs(pl - l1(net.source, sink)) < 1e-9
+
+    @slow
+    @given(nets(min_degree=3, max_degree=8), st.sampled_from([0.0, 0.2, 1.0]))
+    def test_salt_budget_holds(self, net, eps):
+        t = salt(net, eps)
+        for sink, pl in zip(net.sinks, t.sink_delays()):
+            assert pl <= (1 + eps) * l1(net.source, sink) + 1e-9
+
+    @slow
+    @given(nets(min_degree=3, max_degree=7))
+    def test_patlabor_front_within_bounds(self, net):
+        front = PatLabor().route(net)
+        lb_w = net.bbox().half_perimeter
+        lb_d = net.delay_lower_bound()
+        for w, d, tree in front:
+            assert w >= lb_w - 1e-9
+            assert d >= lb_d - 1e-9
+            assert d <= w + 1e-9
+
+    @slow
+    @given(nets(min_degree=2, max_degree=8))
+    def test_hanan_grid_contains_pins(self, net):
+        grid = HananGrid.of_net(net)
+        for node, pin in zip(grid.pin_nodes(), net.pins):
+            assert grid.point(node) == pin
+
+    @slow
+    @given(nets(min_degree=3, max_degree=8))
+    def test_rsmt_below_star(self, net):
+        assert rsmt(net).wirelength() <= net.star_wirelength() + 1e-9

@@ -1,0 +1,119 @@
+"""Unit tests for L-shape embedding and the validation battery."""
+
+import random
+
+import pytest
+
+from repro.exceptions import InvalidTreeError
+from repro.baselines.rsmt import rsmt
+from repro.geometry.net import Net, random_net
+from repro.geometry.point import Point
+from repro.routing.embedding import (
+    Segment,
+    embed_edge,
+    embed_tree,
+    embedded_wirelength,
+    segments_bbox,
+)
+from repro.routing.tree import RoutingTree
+from repro.routing.validate import (
+    check_objective_bounds,
+    check_on_hanan_grid,
+    check_sink_paths_monotone_bound,
+    check_tree,
+)
+
+
+class TestEmbedEdge:
+    def test_zero_length(self):
+        assert embed_edge((3, 3), (3, 3)) == []
+
+    def test_axis_parallel_single_segment(self):
+        segs = embed_edge((0, 0), (5, 0))
+        assert len(segs) == 1
+        assert segs[0].is_horizontal
+
+    def test_l_shape_two_segments(self):
+        segs = embed_edge((0, 0), (4, 3))
+        assert len(segs) == 2
+        assert sum(s.length for s in segs) == 7
+
+    def test_lower_vs_upper_l(self):
+        lower = embed_edge((0, 0), (4, 3), lower_l=True)
+        upper = embed_edge((0, 0), (4, 3), lower_l=False)
+        assert lower[0].b == Point(4, 0)
+        assert upper[0].b == Point(0, 3)
+        assert sum(s.length for s in lower) == sum(s.length for s in upper)
+
+
+class TestEmbedTree:
+    def test_wirelength_invariant_under_embedding(self):
+        rng = random.Random(3)
+        for _ in range(5):
+            net = random_net(7, rng=rng)
+            tree = rsmt(net)
+            for flag in (True, False):
+                segs = embed_tree(tree, lower_l=flag)
+                assert abs(embedded_wirelength(segs) - tree.wirelength()) < 1e-9
+
+    def test_segments_all_rectilinear(self):
+        net = random_net(6, rng=random.Random(1))
+        for seg in embed_tree(rsmt(net)):
+            assert seg.is_horizontal or seg.is_vertical
+
+    def test_bbox(self):
+        segs = [Segment(Point(0, 0), Point(4, 0)), Segment(Point(4, 0), Point(4, 3))]
+        assert segments_bbox(segs) == (0, 0, 4, 3)
+
+    def test_bbox_empty(self):
+        assert segments_bbox([]) == (0, 0, 0, 0)
+
+
+class TestValidation:
+    def test_valid_tree_passes_battery(self):
+        net = random_net(8, rng=random.Random(2))
+        check_tree(rsmt(net), hanan=True)
+
+    def test_star_is_on_hanan(self, square_net):
+        check_on_hanan_grid(RoutingTree.star(square_net))
+
+    def test_off_hanan_detected(self, square_net):
+        tree = RoutingTree.star(square_net)
+        tree.points.append(Point(3.33, 7.77))
+        tree.parent.append(0)
+        with pytest.raises(InvalidTreeError):
+            check_on_hanan_grid(tree)
+
+    def test_objective_bounds_hold_for_heuristics(self):
+        from repro.baselines.salt import salt
+        from repro.baselines.prim_dijkstra import pd2
+
+        rng = random.Random(7)
+        for _ in range(3):
+            net = random_net(10, rng=rng)
+            check_objective_bounds(salt(net, 0.2))
+            check_objective_bounds(pd2(net, 0.5))
+
+    def test_sink_paths_lower_bound(self):
+        net = random_net(9, rng=random.Random(8))
+        check_sink_paths_monotone_bound(rsmt(net))
+
+    def test_impossible_delay_detected(self, square_net):
+        tree = RoutingTree.star(square_net)
+        # Forge a cached delay below the L1 lower bound.
+        tree._delay = 1.0
+        with pytest.raises(InvalidTreeError):
+            check_objective_bounds(tree)
+
+    def test_heuristic_trees_stay_on_hanan_grid(self):
+        """All heuristics only create Steiner points combining pin
+        coordinates — the documented invariant."""
+        from repro.baselines.salt import salt
+        from repro.baselines.ysd import ysd_single
+
+        rng = random.Random(12)
+        for _ in range(3):
+            net = random_net(8, rng=rng)
+            check_on_hanan_grid(rsmt(net))
+            check_on_hanan_grid(salt(net, 0.3))
+            check_on_hanan_grid(ysd_single(net, 0.5))

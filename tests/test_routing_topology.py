@@ -1,0 +1,106 @@
+"""Unit tests for grid topologies and their symbolic solutions."""
+
+import pytest
+
+from repro.exceptions import InvalidTreeError
+from repro.geometry.net import Net
+from repro.geometry.transforms import ALL_TRANSFORMS
+from repro.routing.topology import GridTopology, _symbolic_edge
+
+
+def l_topology():
+    """3x3 pattern: source (0,0), sinks (1,2) and (2,1), one Steiner."""
+    return GridTopology(
+        nx=3,
+        ny=3,
+        source=(0, 0),
+        sinks=((1, 2), (2, 1)),
+        edges=(((0, 0), (1, 1)), ((1, 1), (1, 2)), ((1, 1), (2, 1))),
+    )
+
+
+class TestSymbolicEdge:
+    def test_horizontal(self):
+        assert _symbolic_edge((0, 0), (2, 0), 3, 3) == (1, 1, 0, 0)
+
+    def test_vertical(self):
+        assert _symbolic_edge((1, 0), (1, 2), 3, 3) == (0, 0, 1, 1)
+
+    def test_diagonal_spans_both(self):
+        assert _symbolic_edge((0, 0), (2, 2), 3, 3) == (1, 1, 1, 1)
+
+    def test_zero_for_same_node(self):
+        assert _symbolic_edge((1, 1), (1, 1), 3, 3) == (0, 0, 0, 0)
+
+
+class TestSymbolicSolution:
+    def test_w_counts_all_edges(self):
+        w, rows = l_topology().symbolic_solution()
+        # Edges: (0,0)-(1,1): x0,y0; (1,1)-(1,2): y1; (1,1)-(2,1): x1
+        assert w == (1, 1, 1, 1)
+
+    def test_rows_per_sink(self):
+        _, rows = l_topology().symbolic_solution()
+        assert len(rows) == 2
+        # sink (1,2): path (0,0)->(1,1)->(1,2): x0 + y0 + y1
+        assert rows[0] == (1, 0, 1, 1)
+        # sink (2,1): x0 + y0 + x1
+        assert rows[1] == (1, 1, 1, 0)
+
+    def test_unreachable_sink_raises(self):
+        topo = GridTopology(
+            nx=2, ny=2, source=(0, 0), sinks=((1, 1),), edges=()
+        )
+        with pytest.raises(InvalidTreeError):
+            topo.symbolic_solution()
+
+    def test_evaluate(self):
+        gaps = [2.0, 3.0, 5.0, 7.0]  # x-gaps then y-gaps
+        w, d = l_topology().evaluate(gaps)
+        assert w == 2 + 3 + 5 + 7
+        assert d == max(2 + 5 + 7, 2 + 3 + 5)
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: t.name)
+    def test_transform_preserves_evaluation(self, t):
+        topo = l_topology()
+        gaps_x, gaps_y = [2.0, 3.0], [5.0, 7.0]
+        w0, d0 = topo.evaluate(gaps_x + gaps_y)
+        t_topo = topo.transformed(t)
+        ngx, ngy = t.apply_gaps(gaps_x, gaps_y)
+        w1, d1 = t_topo.evaluate(list(ngx) + list(ngy))
+        assert abs(w0 - w1) < 1e-9
+        assert abs(d0 - d1) < 1e-9
+
+    def test_canonical_key_detects_identity(self):
+        assert l_topology().canonical_key() == l_topology().canonical_key()
+
+    def test_canonical_key_differs(self):
+        other = GridTopology(
+            nx=3, ny=3, source=(0, 0), sinks=((1, 2), (2, 1)),
+            edges=(((0, 0), (1, 2)), ((1, 2), (2, 1))),
+        )
+        assert other.canonical_key() != l_topology().canonical_key()
+
+
+class TestInstantiate:
+    def test_realises_tree(self):
+        topo = l_topology()
+        xs, ys = [0.0, 4.0, 9.0], [0.0, 5.0, 11.0]
+        net = Net.from_points((0, 0), [(4, 11), (9, 5)])
+        tree = topo.instantiate(net, xs, ys)
+        w, d = tree.objective()
+        ew, ed = topo.evaluate([4.0, 5.0, 5.0, 6.0])
+        assert abs(w - ew) < 1e-9
+        assert abs(d - ed) < 1e-9
+
+    def test_source_mismatch_raises(self):
+        topo = l_topology()
+        net = Net.from_points((1, 1), [(4, 11), (9, 5)])
+        with pytest.raises(InvalidTreeError):
+            topo.instantiate(net, [0.0, 4.0, 9.0], [0.0, 5.0, 11.0])
+
+    def test_nodes_enumerates_everything(self):
+        nodes = set(l_topology().nodes())
+        assert nodes == {(0, 0), (1, 1), (1, 2), (2, 1)}

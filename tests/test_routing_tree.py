@@ -1,0 +1,184 @@
+"""Unit tests for the routing tree data structure."""
+
+import random
+
+import pytest
+
+from repro.exceptions import InvalidTreeError
+from repro.geometry.net import Net, random_net
+from repro.geometry.point import Point
+from repro.routing.tree import RoutingTree
+
+
+class TestConstruction:
+    def test_star(self, square_net):
+        t = RoutingTree.star(square_net)
+        assert t.wirelength() == square_net.star_wirelength()
+        assert t.delay() == square_net.delay_lower_bound()
+
+    def test_from_edges_with_steiner(self, square_net):
+        s = Point(10, 0)  # coincides with a pin here; use a true Steiner:
+        net = Net.from_points((0, 0), [(10, 2), (10, 8)])
+        t = RoutingTree.from_edges(
+            net, [((0, 0), (10, 2)), ((10, 2), (10, 8))]
+        )
+        assert t.wirelength() == 12 + 6
+        assert t.delay() == 18
+
+    def test_from_edges_disconnected_raises(self):
+        net = Net.from_points((0, 0), [(5, 5), (9, 9)])
+        with pytest.raises(InvalidTreeError):
+            RoutingTree.from_edges(net, [((0, 0), (5, 5))])
+
+    def test_from_parent_validates(self, square_net):
+        with pytest.raises(InvalidTreeError):
+            RoutingTree.from_parent(
+                square_net, list(square_net.pins), [0, 0, 1, 2]
+            )  # root must have parent -1
+
+    def test_cycle_detection(self, square_net):
+        tree = RoutingTree.star(square_net)
+        tree.parent[1] = 2
+        tree.parent[2] = 1
+        with pytest.raises(InvalidTreeError):
+            tree.topological_order()
+
+    def test_pin_mismatch_raises(self, square_net):
+        pts = list(square_net.pins)
+        pts[1] = Point(99, 99)
+        with pytest.raises(InvalidTreeError):
+            RoutingTree.from_parent(square_net, pts, [-1, 0, 0, 0])
+
+
+class TestObjectives:
+    def test_wirelength_is_edge_sum(self, square_net):
+        t = RoutingTree.star(square_net)
+        assert t.wirelength() == sum(t.edge_length(i) for i, _ in t.edges())
+
+    def test_delay_is_max_sink_path(self, square_net):
+        t = RoutingTree.star(square_net)
+        assert t.delay() == max(t.sink_delays())
+
+    def test_delay_le_wirelength(self):
+        for seed in range(10):
+            net = random_net(8, rng=random.Random(seed))
+            t = RoutingTree.star(net)
+            assert t.delay() <= t.wirelength() + 1e-9
+
+    def test_chain_delay(self):
+        net = Net.from_points((0, 0), [(5, 0), (10, 0)])
+        t = RoutingTree.from_edges(net, [((0, 0), (5, 0)), ((5, 0), (10, 0))])
+        assert t.delay() == 10
+        assert t.sink_delays() == [5, 10]
+
+    def test_objective_tuple(self, square_net):
+        t = RoutingTree.star(square_net)
+        assert t.objective() == (t.wirelength(), t.delay())
+
+    def test_stretch_of_star_is_one(self, square_net):
+        assert RoutingTree.star(square_net).stretch() == 1.0
+
+    def test_cache_invalidation(self, square_net):
+        t = RoutingTree.star(square_net)
+        w0 = t.wirelength()
+        t.points.append(Point(20, 20))
+        t.parent.append(0)
+        t._invalidate()
+        assert t.wirelength() > w0
+
+
+class TestStructure:
+    def test_children(self, square_net):
+        t = RoutingTree.star(square_net)
+        ch = t.children()
+        assert ch[0] == [1, 2, 3]
+        assert ch[1] == []
+
+    def test_topological_order_root_first(self, square_net):
+        t = RoutingTree.star(square_net)
+        order = t.topological_order()
+        assert order[0] == 0
+        pos = {u: i for i, u in enumerate(order)}
+        for child, parent in t.edges():
+            assert pos[parent] < pos[child]
+
+    def test_num_steiner(self):
+        net = Net.from_points((0, 0), [(10, 10)])
+        t = RoutingTree.from_edges(
+            net, [((0, 0), (10, 0)), ((10, 0), (10, 10))]
+        )
+        assert t.num_steiner == 1
+
+    def test_copy_is_independent(self, square_net):
+        t = RoutingTree.star(square_net)
+        c = t.copy()
+        c.parent[1] = 2
+        assert t.parent[1] == 0
+
+
+class TestCompaction:
+    def test_removes_pass_through_steiner(self):
+        net = Net.from_points((0, 0), [(10, 0)])
+        t = RoutingTree.from_edges(
+            net, [((0, 0), (4, 0)), ((4, 0), (10, 0))]
+        )
+        c = t.compacted()
+        assert c.num_steiner == 0
+        assert c.objective() == t.objective()
+
+    def test_removes_dangling_steiner(self):
+        net = Net.from_points((0, 0), [(10, 0)])
+        t = RoutingTree.from_edges(
+            net,
+            [((0, 0), (10, 0)), ((10, 0), (10, 5))],  # dangling stub
+        )
+        c = t.compacted()
+        assert c.num_steiner == 0
+        assert c.wirelength() == 10  # the stub is dropped
+
+    def test_keeps_branching_steiner(self):
+        net = Net.from_points((0, 0), [(10, 5), (10, -5)])
+        t = RoutingTree.from_edges(
+            net,
+            [((0, 0), (10, 0)), ((10, 0), (10, 5)), ((10, 0), (10, -5))],
+        )
+        c = t.compacted()
+        assert c.num_steiner == 1
+
+    def test_keeps_non_monotone_bend(self):
+        # A degree-2 Steiner NOT between its neighbours changes lengths;
+        # it must not be contracted.
+        net = Net.from_points((0, 0), [(10, 0)])
+        t = RoutingTree.from_edges(
+            net, [((0, 0), (5, 5)), ((5, 5), (10, 0))]
+        )
+        c = t.compacted()
+        assert c.num_steiner == 1
+        assert c.wirelength() == t.wirelength() == 20
+
+    def test_chain_of_redundant_steiners(self):
+        net = Net.from_points((0, 0), [(10, 0)])
+        t = RoutingTree.from_edges(
+            net,
+            [((0, 0), (2, 0)), ((2, 0), (5, 0)), ((5, 0), (8, 0)), ((8, 0), (10, 0))],
+        )
+        c = t.compacted()
+        assert c.num_steiner == 0
+        assert c.objective() == (10, 10)
+
+    def test_objectives_never_change(self):
+        rng = random.Random(5)
+        from repro.baselines.rsmt import rsmt
+
+        for _ in range(5):
+            net = random_net(7, rng=rng)
+            t = rsmt(net)
+            c = t.compacted()
+            assert abs(c.wirelength() - t.wirelength()) < 1e-9
+            assert abs(c.delay() - t.delay()) < 1e-9
+
+    def test_canonical_edge_set_ignores_representation(self):
+        net = Net.from_points((0, 0), [(10, 0)])
+        a = RoutingTree.from_edges(net, [((0, 0), (10, 0))])
+        b = RoutingTree.from_edges(net, [((0, 0), (5, 0)), ((5, 0), (10, 0))])
+        assert a.canonical_edge_set() == b.canonical_edge_set()
