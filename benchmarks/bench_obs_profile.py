@@ -1,0 +1,83 @@
+"""Observability profile of the batch-routing pipeline.
+
+Not a paper artefact: this benchmark exercises the ``repro.obs``
+instrumentation end to end and emits the structured baseline that later
+perf PRs diff against. It routes an ICCAD-15-like mixed workload (with
+translated duplicates, so the translation cache sees realistic hits)
+through :func:`repro.core.batch.route_batch`, then writes
+
+* ``results/obs_profile.txt`` — the human-readable span-tree report, and
+* ``results/BENCH_profile.json`` — cache hit-rate, nets/sec, per-stage
+  span timings, counters, and per-net latency percentiles.
+
+Asserted shape: the cache hits on every duplicate, every routed net is
+accounted for, and the span tree covers the dispatch tiers that ran.
+"""
+
+import json
+
+from repro import Net, obs
+from repro.core.batch import route_batch
+
+from conftest import RESULTS_DIR, write_artifact
+
+DUPLICATES_PER_NET = 2  # rigid translates appended per base net
+
+
+def _translated_copy(net, dx, dy, name):
+    moved = net.translated(dx, dy)
+    return Net.from_points(moved.source, list(moved.sinks), name=name)
+
+
+def test_obs_profile(small_nets):
+    nets = list(small_nets)
+    for net in small_nets:
+        for k in range(1, DUPLICATES_PER_NET + 1):
+            nets.append(
+                _translated_copy(
+                    net, 1000.0 * k, 500.0 * k, f"{net.name}/dup{k}"
+                )
+            )
+
+    obs.reset()
+    obs.enable()
+    try:
+        result = route_batch(nets, use_cache=True)
+    finally:
+        obs.disable()
+
+    # Every translate after the first visit of a base net must hit.
+    assert result.cache_hits >= len(small_nets) * DUPLICATES_PER_NET
+    assert result.metrics is not None
+    assert result.metrics["cache_hit_rate"] > 0.5
+
+    report = obs.span_tree_report() + "\n\n" + obs.metrics_summary()
+    write_artifact("obs_profile.txt", report)
+
+    path = obs.write_bench_json(
+        "profile",
+        directory=RESULTS_DIR,
+        extra={
+            "workload": {
+                "nets": len(nets),
+                "base_nets": len(small_nets),
+                "duplicates_per_net": DUPLICATES_PER_NET,
+            },
+            "nets_per_second": result.nets_per_second,
+            "cache_hit_rate": result.metrics["cache_hit_rate"],
+            "seconds": result.seconds,
+        },
+    )
+    payload = json.loads(path.read_text())
+    assert payload["nets_per_second"] > 0
+    assert 0.0 < payload["cache_hit_rate"] <= 1.0
+    assert payload["metrics"]["counters"]["cache.hits"] == result.cache_hits
+    assert "batch.route_batch" in payload["metrics"]["spans"]
+    # Per-stage timings: the DW engine must appear under the batch span.
+    assert any("dw.solve" in p for p in payload["metrics"]["spans"])
+    # Per-net latency percentiles for the throughput yardstick.
+    net_seconds = payload["metrics"]["timers"]["batch.net_seconds"]
+    assert net_seconds["count"] == len(nets)
+    assert net_seconds["p50_s"] <= net_seconds["p99_s"]
+    print(f"\n[metrics written to {path}]")
+    obs.reset()

@@ -9,6 +9,11 @@ gen-nets    Generate a synthetic ICCAD-15-like workload into a ``.nets`` file.
 compare     Run PatLabor vs SALT vs YSD on a net file and print
             Table III / Table IV style summaries.
 draw        Render a net's Pareto-optimal trees to SVG files.
+
+``route``, ``gen-lut``, and ``compare`` accept ``--profile`` (print a
+span-tree report and metric summary after the command, via
+:mod:`repro.obs`) and ``--profile-json PATH`` (also dump the metrics
+snapshot as JSON — e.g. ``BENCH_route.json``).
 """
 
 from __future__ import annotations
@@ -139,6 +144,19 @@ def _cmd_draw(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a span-tree report and metric summary after the command",
+    )
+    p.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        help="write the metrics snapshot as JSON to PATH (implies --profile)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="patlabor",
@@ -152,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--lam", type=int, default=9, help="PatLabor lambda")
     p.add_argument("--lut", help="lookup-table JSON file")
+    _add_profile_flags(p)
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("gen-lut", help="generate lookup tables")
@@ -160,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None, help="patterns per degree")
     p.add_argument("--jobs", type=int, default=1, help="parallel workers")
     p.add_argument("--output", "-o", default="patlabor_lut.json")
+    _add_profile_flags(p)
     p.set_defaults(func=_cmd_gen_lut)
 
     p = sub.add_parser("gen-nets", help="generate a synthetic workload")
@@ -172,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare PatLabor / SALT / YSD")
     p.add_argument("nets", help=".nets input file")
     p.add_argument("--exact-limit", type=int, default=9)
+    _add_profile_flags(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("draw", help="render Pareto trees to SVG")
@@ -186,7 +207,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``patlabor`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profiling = getattr(args, "profile", False) or getattr(
+        args, "profile_json", None
+    )
+    if not profiling:
+        return args.func(args)
+
+    from . import obs
+
+    obs.enable()
+    try:
+        rc = args.func(args)
+    finally:
+        obs.disable()
+    print()
+    print(obs.span_tree_report())
+    summary = obs.metrics_summary()
+    if summary:
+        print()
+        print(summary)
+    if getattr(args, "profile_json", None):
+        path = obs.dump_json(args.profile_json)
+        print(f"\n[metrics written to {path}]")
+    return rc
 
 
 if __name__ == "__main__":

@@ -11,15 +11,23 @@ Worker processes rebuild their own :class:`~repro.core.patlabor.PatLabor`
 (routers hold lookup tables and RNG state that should not be shared), so
 only nets and plain objective results cross process boundaries; trees are
 reconstructed lazily on demand when ``with_trees`` is set.
+
+When observability is enabled (:func:`repro.obs.enable`) the run is
+profiled end to end: per-net route times, per-worker throughput and queue
+wait, and the workers' own metric registries merged back into the parent
+process — all surfaced both in the global registry and in
+:attr:`BatchResult.metrics`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry.net import Net
+from .. import obs
+from ..obs import span, timer_observe
 from .cache import CachedRouter
 from .pareto import Solution
 from .patlabor import PatLabor, PatLaborConfig
@@ -33,6 +41,10 @@ class BatchResult:
     seconds: float
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Structured profile of the run (only populated while
+    #: :func:`repro.obs.enable` is active): headline throughput numbers
+    #: plus one entry per worker. ``None`` on unprofiled runs.
+    metrics: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     @property
     def nets_per_second(self) -> float:
@@ -42,6 +54,11 @@ class BatchResult:
     def total_solutions(self) -> int:
         return sum(len(f) for f in self.fronts.values())
 
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
 
 def _route_serial(
     nets: Sequence[Net], config: PatLaborConfig, use_cache: bool
@@ -50,25 +67,51 @@ def _route_serial(
     if use_cache:
         router = CachedRouter(router)
     fronts: Dict[str, List[Solution]] = {}
+    profiling = obs.enabled()
     for i, net in enumerate(nets):
         name = net.name or f"net_{i}"
-        fronts[name] = router.route(net)
+        if profiling:
+            t0 = time.perf_counter()
+            fronts[name] = router.route(net)
+            timer_observe("batch.net_seconds", time.perf_counter() - t0)
+        else:
+            fronts[name] = router.route(net)
     hits = getattr(router, "hits", 0)
     misses = getattr(router, "misses", 0)
     return fronts, hits, misses
 
 
-def _worker(args) -> Tuple[Dict[str, List[Tuple[float, float, None]]], int, int]:
+def _worker(args):
     """Process-pool worker: returns payload-free fronts (trees don't cross
-    process boundaries cheaply; objectives are what batch callers need)."""
-    nets, config_dict, use_cache = args
+    process boundaries cheaply; objectives are what batch callers need),
+    plus its metrics snapshot when the parent is profiling."""
+    nets, config_dict, use_cache, profiling, dispatched_at = args
+    started_at = time.time()
+    registry = obs.get_registry()
+    if profiling:
+        # Fork inherits the parent's registry contents; start clean so the
+        # snapshot sent back covers exactly this worker's share.
+        registry.reset()
+        registry.enable()
+    t0 = time.perf_counter()
     config = PatLaborConfig(**config_dict)
     fronts, hits, misses = _route_serial(nets, config, use_cache)
     slim = {
         name: [(w, d, None) for w, d, _t in front]
         for name, front in fronts.items()
     }
-    return slim, hits, misses
+    stats = None
+    if profiling:
+        elapsed = time.perf_counter() - t0
+        registry.disable()
+        stats = {
+            "nets": len(slim),
+            "seconds": elapsed,
+            "nets_per_second": len(slim) / elapsed if elapsed > 0 else 0.0,
+            "queue_wait_seconds": max(0.0, started_at - dispatched_at),
+            "snapshot": registry.snapshot(with_samples=True),
+        }
+    return slim, hits, misses, stats
 
 
 def route_batch(
@@ -85,35 +128,72 @@ def route_batch(
     serially when the trees themselves are needed.
     """
     config = config or PatLaborConfig()
+    profiling = obs.enabled()
     t0 = time.perf_counter()
-    if jobs <= 1:
-        fronts, hits, misses = _route_serial(nets, config, use_cache)
-        return BatchResult(
-            fronts=fronts,
-            seconds=time.perf_counter() - t0,
-            cache_hits=hits,
-            cache_misses=misses,
-        )
+    with span("batch.route_batch"):
+        if jobs <= 1:
+            fronts, hits, misses = _route_serial(nets, config, use_cache)
+            result = BatchResult(
+                fronts=fronts,
+                seconds=time.perf_counter() - t0,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+            if profiling:
+                result.metrics = _batch_metrics(result, workers=None)
+            return result
 
-    import multiprocessing
-    from dataclasses import asdict
+        import multiprocessing
+        from dataclasses import asdict
 
-    shards: List[List[Net]] = [[] for _ in range(jobs)]
-    for i, net in enumerate(nets):
-        shards[i % jobs].append(net)
-    payload = [
-        (shard, asdict(config), use_cache) for shard in shards if shard
-    ]
-    fronts: Dict[str, List[Solution]] = {}
-    hits = misses = 0
-    with multiprocessing.Pool(processes=jobs) as pool:
-        for slim, h, m in pool.map(_worker, payload):
-            fronts.update(slim)
-            hits += h
-            misses += m
-    return BatchResult(
+        shards: List[List[Net]] = [[] for _ in range(jobs)]
+        for i, net in enumerate(nets):
+            shards[i % jobs].append(net)
+        dispatched_at = time.time()
+        payload = [
+            (shard, asdict(config), use_cache, profiling, dispatched_at)
+            for shard in shards
+            if shard
+        ]
+        fronts: Dict[str, List[Solution]] = {}
+        hits = misses = 0
+        workers: List[Dict[str, float]] = []
+        registry = obs.get_registry()
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for slim, h, m, stats in pool.map(_worker, payload):
+                fronts.update(slim)
+                hits += h
+                misses += m
+                if stats is not None:
+                    snapshot = stats.pop("snapshot")
+                    registry.merge_snapshot(snapshot)
+                    timer_observe(
+                        "batch.queue_wait_seconds", stats["queue_wait_seconds"]
+                    )
+                    timer_observe("batch.worker_seconds", stats["seconds"])
+                    workers.append(stats)
+    result = BatchResult(
         fronts=fronts,
         seconds=time.perf_counter() - t0,
         cache_hits=hits,
         cache_misses=misses,
     )
+    if profiling:
+        result.metrics = _batch_metrics(result, workers=workers)
+    return result
+
+
+def _batch_metrics(
+    result: BatchResult, workers: Optional[List[Dict[str, float]]]
+) -> Dict[str, object]:
+    """The headline profile numbers attached to :attr:`BatchResult.metrics`."""
+    obs.counter_add("batch.nets", len(result.fronts))
+    return {
+        "nets": len(result.fronts),
+        "seconds": result.seconds,
+        "nets_per_second": result.nets_per_second,
+        "cache_hit_rate": result.cache_hit_rate,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "workers": workers if workers is not None else [],
+    }

@@ -16,6 +16,7 @@ from typing import Dict, List, Tuple
 from ..core.pareto import Solution
 from ..geometry.net import Net
 from ..geometry.point import Point
+from ..obs import counter_add, span
 from ..routing.tree import RoutingTree
 
 CacheKey = Tuple[Tuple[float, float], ...]
@@ -37,6 +38,11 @@ def translation_key(net: Net) -> CacheKey:
 
 def _translate_tree(tree: RoutingTree, net: Net, dx: float, dy: float) -> RoutingTree:
     points = [Point(p.x + dx, p.y + dy) for p in tree.points]
+    # Snap pin nodes (always the first ``degree`` points) onto the query
+    # net's exact coordinates: the rigid shift can be an ulp off after
+    # float addition — or up to the 1e-6 key rounding when the query is a
+    # near-translate — and validation requires exact pin equality.
+    points[: net.degree] = list(net.pins)
     return RoutingTree.from_parent(net, points, list(tree.parent))
 
 
@@ -62,20 +68,24 @@ class CachedRouter:
 
     def route(self, net: Net) -> List[Solution]:
         """Pareto set of ``net``, served from cache for exact translates."""
-        key = translation_key(net)
+        with span("cache.key"):
+            key = translation_key(net)
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            counter_add("cache.hits")
             base_net, solutions = cached
             dx = net.source.x - base_net.source.x
             dy = net.source.y - base_net.source.y
             if dx == 0.0 and dy == 0.0 and base_net.key() == net.key():
                 return list(solutions)
-            return [
-                (w, d, _translate_tree(tree, net, dx, dy))
-                for w, d, tree in solutions
-            ]
+            with span("cache.translate"):
+                return [
+                    (w, d, _translate_tree(tree, net, dx, dy))
+                    for w, d, tree in solutions
+                ]
         self.misses += 1
+        counter_add("cache.misses")
         solutions = self.router.route(net)
         if len(self._cache) >= self.max_entries:
             self._cache.pop(next(iter(self._cache)))

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from ..exceptions import DegreeTooLargeError
 from ..geometry.hanan import GridNode, HananGrid
 from ..geometry.net import Net
+from ..obs import counter_add, enabled as _obs_enabled, gauge_max, span
 from ..routing.tree import RoutingTree
 from .pareto import Solution, clean_front, cross, pareto_filter
 
@@ -139,7 +140,48 @@ def pareto_dw(
     n = net.degree
     if n > max_degree:
         raise DegreeTooLargeError(n, max_degree)
+    # With observability on, always collect work counters so they can be
+    # flushed into the global registry (callers passing their own DWStats
+    # keep ownership and flush nothing).
+    flush = stats is None and _obs_enabled()
+    if flush:
+        stats = DWStats()
+    with span("dw.solve"):
+        result = _pareto_dw_impl(
+            net,
+            lemma2=lemma2,
+            lemma3=lemma3,
+            lemma4=lemma4,
+            with_trees=with_trees,
+            stats=stats,
+        )
+    if flush:
+        _flush_dw_stats(stats)
+    return result
 
+
+def _flush_dw_stats(stats: DWStats) -> None:
+    """Report one solve's :class:`DWStats` into the metrics registry."""
+    counter_add("dw.solves")
+    counter_add("dw.subsets", stats.subsets)
+    counter_add("dw.merge_transitions", stats.merge_transitions)
+    counter_add("dw.merge_skipped_lemma3", stats.merge_skipped_lemma3)
+    counter_add("dw.splits_saved_lemma4", stats.splits_saved_lemma4)
+    counter_add("dw.closure_extensions", stats.closure_extensions)
+    counter_add("dw.pruned_corner_nodes", stats.pruned_corner_nodes)
+    gauge_max("dw.max_front_size", stats.max_front_size)
+
+
+def _pareto_dw_impl(
+    net: Net,
+    *,
+    lemma2: bool,
+    lemma3: bool,
+    lemma4: bool,
+    with_trees: bool,
+    stats: Optional[DWStats],
+) -> List[Solution]:
+    """The DP body of :func:`pareto_dw` (degree already validated)."""
     grid = HananGrid.of_net(net)
     pin_nodes = grid.pin_nodes()
     source_node = pin_nodes[0]
@@ -185,11 +227,12 @@ def pareto_dw(
         return out
 
     # Singletons.
-    for si, s_node in enumerate(sink_nodes):
-        base = {s_node: [(0.0, 0.0, ("leaf", s_node))]}
-        S[1 << si] = closure(base)
-        if stats is not None:
-            stats.subsets += 1
+    with span("dw.closure"):
+        for si, s_node in enumerate(sink_nodes):
+            base = {s_node: [(0.0, 0.0, ("leaf", s_node))]}
+            S[1 << si] = closure(base)
+            if stats is not None:
+                stats.subsets += 1
 
     # Subsets in increasing cardinality.
     masks_by_size: List[List[int]] = [[] for _ in range(num_sinks + 1)]
@@ -230,30 +273,32 @@ def pareto_dw(
                 submasks = [sm for sm in submasks if sm != mask]
 
             merged: Dict[GridNode, List[Solution]] = {}
-            for v in nodes:
-                if lemma3:
-                    ix, iy = v
-                    if not (bxlo <= ix <= bxhi and bylo <= iy <= byhi):
+            with span("dw.merge"):
+                for v in nodes:
+                    if lemma3:
+                        ix, iy = v
+                        if not (bxlo <= ix <= bxhi and bylo <= iy <= byhi):
+                            if stats is not None:
+                                stats.merge_skipped_lemma3 += 1
+                            continue
+                    bucket: List[Solution] = []
+                    for q1 in submasks:
+                        q2 = mask ^ q1
+                        s1 = S[q1][v] if S[q1] is not None else None
+                        s2 = S[q2][v] if S[q2] is not None else None
+                        if not s1 or not s2:
+                            continue
                         if stats is not None:
-                            stats.merge_skipped_lemma3 += 1
-                        continue
-                bucket: List[Solution] = []
-                for q1 in submasks:
-                    q2 = mask ^ q1
-                    s1 = S[q1][v] if S[q1] is not None else None
-                    s2 = S[q2][v] if S[q2] is not None else None
-                    if not s1 or not s2:
-                        continue
-                    if stats is not None:
-                        stats.merge_transitions += 1
-                    for w1, d1, p1 in s1:
-                        for w2, d2, p2 in s2:
-                            bucket.append(
-                                (w1 + w2, max(d1, d2), ("merge", p1, p2))
-                            )
-                if bucket:
-                    merged[v] = pareto_filter(bucket)
-            S[mask] = closure(merged)
+                            stats.merge_transitions += 1
+                        for w1, d1, p1 in s1:
+                            for w2, d2, p2 in s2:
+                                bucket.append(
+                                    (w1 + w2, max(d1, d2), ("merge", p1, p2))
+                                )
+                    if bucket:
+                        merged[v] = pareto_filter(bucket)
+            with span("dw.closure"):
+                S[mask] = closure(merged)
             if stats is not None:
                 stats.subsets += 1
             # Free sub-frontiers no longer needed? (All smaller masks may
@@ -265,12 +310,13 @@ def pareto_dw(
         return clean_front(result)
 
     final: List[Solution] = []
-    for w, d, payload in result:
-        tree = reconstruct_tree(net, grid, payload)
-        tw, td = tree.objective()
-        # The DP value may correspond to an edge multiset; the realised
-        # tree can only be equal or better in both objectives.
-        final.append((min(w, tw), min(d, td), tree))
+    with span("dw.reconstruct"):
+        for w, d, payload in result:
+            tree = reconstruct_tree(net, grid, payload)
+            tw, td = tree.objective()
+            # The DP value may correspond to an edge multiset; the realised
+            # tree can only be equal or better in both objectives.
+            final.append((min(w, tw), min(d, td), tree))
     return clean_front(final)
 
 

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..geometry.net import Net
 from ..geometry.point import Point, l1
+from ..obs import counter_add, gauge_max, span
 from ..routing.tree import RoutingTree
 from .pareto import Solution, clean_front, pareto_filter
 from .pareto_dw import pareto_dw
@@ -77,6 +78,7 @@ def pareto_ks(
             name=f"{net.name}/ks{len(points)}",
         )
         if len(points) <= base_size:
+            counter_add("ks.base_cases")
             return solver(sub)
 
         ordered = sorted(points, key=lambda p: (p[axis], p[1 - axis]))
@@ -86,6 +88,7 @@ def pareto_ks(
         s1 = _truncate(solve(left, 1 - axis), max_front)
         s2 = _truncate(solve(right, 1 - axis), max_front)
 
+        counter_add("ks.combinations", len(s1) * len(s2))
         combined: List[Solution] = []
         for _, _, t1 in s1:
             e1 = _tree_edges(t1)
@@ -93,12 +96,15 @@ def pareto_ks(
                 combined.append(_evaluate(sub, e1 + _tree_edges(t2)))
         return pareto_filter(combined)
 
-    solutions = solve(list(net.pins), axis=0)
-    # Re-root every tree on the true net and measure from the true source.
-    final = [
-        _evaluate(net, _tree_edges(tree)) for _, _, tree in solutions
-    ]
-    return clean_front(final)
+    with span("ks.solve"):
+        solutions = solve(list(net.pins), axis=0)
+        # Re-root every tree on the true net and measure from the true source.
+        final = [
+            _evaluate(net, _tree_edges(tree)) for _, _, tree in solutions
+        ]
+        front = clean_front(final)
+    gauge_max("ks.front_size", len(front))
+    return front
 
 
 def _truncate(front: Sequence[Solution], limit: int) -> List[Solution]:

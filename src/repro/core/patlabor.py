@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..geometry.net import Net
 from ..geometry.point import Point, l1
+from ..obs import counter_add, gauge_max, span
 from ..routing.attach import TreeBuilder
 from ..routing.refine import wirelength_refine
 from ..routing.tree import RoutingTree
@@ -78,21 +79,31 @@ class PatLabor:
         Exact (the full Pareto frontier) for ``net.degree <= lam``; a
         tight approximation above.
         """
-        n = net.degree
-        if n <= self.config.lam:
-            return self.small_frontier(net)
-        return self.local_search(net)
+        with span("patlabor.route"):
+            n = net.degree
+            if n <= self.config.lam:
+                return self.small_frontier(net)
+            counter_add("patlabor.dispatch.local_search")
+            return self.local_search(net)
 
     def small_frontier(self, net: Net) -> List[Solution]:
-        """Exact frontier for a small net (LUT first, Pareto-DW fallback)."""
+        """Exact frontier for a small net (LUT first, Pareto-DW fallback).
+
+        Dispatch-tier counters (``patlabor.dispatch.*``) include the
+        sub-nets local search sends back through this method.
+        """
         if net.degree <= 3:
             from ..lut.table import _degree2_frontier, _degree3_frontier
 
+            counter_add("patlabor.dispatch.closed_form")
             if net.degree == 2:
                 return _degree2_frontier(net)
             return _degree3_frontier(net)
         if self.lut is not None and self.lut.covers(net.degree):
-            return self.lut.lookup(net)
+            counter_add("patlabor.dispatch.lut")
+            with span("lut.lookup"):
+                return self.lut.lookup(net)
+        counter_add("patlabor.dispatch.dw")
         return pareto_dw(net)
 
     # -------------------------------------------------------- local search
@@ -101,31 +112,39 @@ class PatLabor:
         """The paper's local-search loop for ``n > lambda`` nets."""
         from ..baselines.rsmt import rsmt
 
-        seed_tree = rsmt(net)
-        w, d = seed_tree.objective()
-        front: List[Solution] = [(w, d, seed_tree)]
-        n = net.degree
-        iters = self.config.iterations
-        if iters is None:
-            iters = max(1, n // self.config.lam)
+        with span("patlabor.local_search"):
+            with span("patlabor.rsmt_seed"):
+                seed_tree = rsmt(net)
+            w, d = seed_tree.objective()
+            front: List[Solution] = [(w, d, seed_tree)]
+            n = net.degree
+            iters = self.config.iterations
+            if iters is None:
+                iters = max(1, n // self.config.lam)
 
-        attempted: Set[Tuple[int, Tuple[int, ...]]] = set()
-        for _ in range(iters):
-            worst = max(front, key=lambda s: s[1])
-            tree: RoutingTree = worst[2]
-            selection = self.policy.select(net, tree, self.config.lam - 1)
-            key = (id(tree), tuple(sorted(selection)))
-            if key in attempted:
-                # Same move would repeat: explore a random selection instead.
-                selection = _shuffled_selection(net, self.config.lam - 1, self.rng)
+            attempted: Set[Tuple[int, Tuple[int, ...]]] = set()
+            for _ in range(iters):
+                counter_add("patlabor.local_search.iterations")
+                worst = max(front, key=lambda s: s[1])
+                tree: RoutingTree = worst[2]
+                with span("patlabor.policy_select"):
+                    selection = self.policy.select(net, tree, self.config.lam - 1)
+                counter_add("patlabor.local_search.policy_picks", len(selection))
                 key = (id(tree), tuple(sorted(selection)))
-            attempted.add(key)
-            front = pareto_filter(self._expand(net, front, selection))
-            if len(front) > self.config.max_front:
-                # Truncate by wirelength but always keep the min-delay
-                # endpoint — dropping it would unanchor the fast end.
-                front = front[: self.config.max_front - 1] + [front[-1]]
-        return clean_front(front)
+                if key in attempted:
+                    # Same move would repeat: explore a random selection instead.
+                    counter_add("patlabor.local_search.random_fallbacks")
+                    selection = _shuffled_selection(net, self.config.lam - 1, self.rng)
+                    key = (id(tree), tuple(sorted(selection)))
+                attempted.add(key)
+                with span("patlabor.expand"):
+                    front = pareto_filter(self._expand(net, front, selection))
+                if len(front) > self.config.max_front:
+                    # Truncate by wirelength but always keep the min-delay
+                    # endpoint — dropping it would unanchor the fast end.
+                    front = front[: self.config.max_front - 1] + [front[-1]]
+            gauge_max("patlabor.front_size", len(front))
+            return clean_front(front)
 
     def _expand(
         self, net: Net, front: List[Solution], selection: Sequence[int]
@@ -144,23 +163,24 @@ class PatLabor:
             for i in range(len(net.sinks))
             if i not in set(selection)
         ]
-        for idx, (_, _, sub_tree) in enumerate(sub_front):
-            full = reassemble(net, sub_tree, rest)
-            if self.config.post_refine:
-                full = wirelength_refine(full, delay_cap=full.delay(), max_passes=2)
-            w, d = full.objective()
-            out.append((w, d, full))
-            if idx == len(sub_front) - 1:
-                # The min-delay sub-topology also gets an arrival-aware
-                # reassembly, anchoring the shallow end of the front (the
-                # remaining pins attach on shortest paths, SALT-style).
-                shallow = reassemble(net, sub_tree, rest, mode="arrival")
+        with span("patlabor.reassemble"):
+            for idx, (_, _, sub_tree) in enumerate(sub_front):
+                full = reassemble(net, sub_tree, rest)
                 if self.config.post_refine:
-                    shallow = wirelength_refine(
-                        shallow, delay_cap=shallow.delay(), max_passes=2
-                    )
-                w, d = shallow.objective()
-                out.append((w, d, shallow))
+                    full = wirelength_refine(full, delay_cap=full.delay(), max_passes=2)
+                w, d = full.objective()
+                out.append((w, d, full))
+                if idx == len(sub_front) - 1:
+                    # The min-delay sub-topology also gets an arrival-aware
+                    # reassembly, anchoring the shallow end of the front (the
+                    # remaining pins attach on shortest paths, SALT-style).
+                    shallow = reassemble(net, sub_tree, rest, mode="arrival")
+                    if self.config.post_refine:
+                        shallow = wirelength_refine(
+                            shallow, delay_cap=shallow.delay(), max_passes=2
+                        )
+                    w, d = shallow.objective()
+                    out.append((w, d, shallow))
         return out
 
 

@@ -23,6 +23,7 @@ from ..core.pareto_dw import pareto_dw
 from ..core.pareto_ks import pareto_ks
 from ..core.patlabor import PatLabor
 from ..geometry.net import Net
+from ..obs import enabled as _obs_enabled, span, timer_observe
 from .metrics import NetComparison
 
 MethodFn = Callable[[Net], List[Solution]]
@@ -51,15 +52,28 @@ def compare_on_net(
     exact_frontier: Optional[List[Solution]] = None,
     compute_exact: bool = True,
 ) -> NetComparison:
-    """Run every method on one net (plus the exact frontier if wanted)."""
+    """Run every method on one net (plus the exact frontier if wanted).
+
+    While profiling, per-net wall times land in the ``eval.net_seconds``
+    timer (percentiles in the exported snapshot) and each method gets its
+    own ``eval.method_seconds.<name>`` timer.
+    """
     results: Dict[str, List[Solution]] = {}
     runtimes: Dict[str, float] = {}
-    for name, fn in methods.items():
-        t0 = time.perf_counter()
-        results[name] = fn(net)
-        runtimes[name] = time.perf_counter() - t0
-    if exact_frontier is None and compute_exact:
-        exact_frontier = pareto_dw(net, with_trees=False)
+    profiling = _obs_enabled()
+    with span("eval.compare_on_net"):
+        net_t0 = time.perf_counter()
+        for name, fn in methods.items():
+            t0 = time.perf_counter()
+            results[name] = fn(net)
+            runtimes[name] = time.perf_counter() - t0
+            if profiling:
+                timer_observe(f"eval.method_seconds.{name}", runtimes[name])
+        if exact_frontier is None and compute_exact:
+            with span("eval.exact_frontier"):
+                exact_frontier = pareto_dw(net, with_trees=False)
+        if profiling:
+            timer_observe("eval.net_seconds", time.perf_counter() - net_t0)
     return NetComparison(
         net_name=net.name or f"net_{id(net):x}",
         degree=net.degree,

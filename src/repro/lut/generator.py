@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry.transforms import canonical_pattern
 from ..core.pareto_dw import _consecutive_splits
+from ..obs import counter_add, enabled as _obs_enabled, span, timer_observe
 from .symbolic import (
     SymbolicSolution,
     merge_solutions,
@@ -129,6 +130,42 @@ def solve_pattern(
     Returns the set of potentially optimal topologies, each a
     :class:`SymbolicSolution` whose payload is its grid edge set.
     """
+    profiling = _obs_enabled()
+    #: Solutions discarded by Lemma-1 pruning across this pattern's DP
+    #: (``len(bucket) - len(front)`` per prune call), counted only while
+    #: profiling; a one-element list so the nested closures can mutate it.
+    pruned = [0]
+
+    def _count_prune(before: int, after: int) -> None:
+        if profiling:
+            pruned[0] += before - after
+
+    with span("lut.solve_pattern"):
+        result = _solve_pattern_impl(
+            perm,
+            source_col,
+            prune_mode=prune_mode,
+            lemma3=lemma3,
+            lemma4=lemma4,
+            count_prune=_count_prune,
+        )
+    if profiling:
+        counter_add("lut.patterns_solved")
+        counter_add("lut.symbolic_pruned", pruned[0])
+        counter_add("lut.topologies_kept", len(result.solutions))
+    return result
+
+
+def _solve_pattern_impl(
+    perm: Sequence[int],
+    source_col: int,
+    *,
+    prune_mode: str,
+    lemma3: bool,
+    lemma4: bool,
+    count_prune,
+) -> PatternSolutions:
+    """The symbolic DP body of :func:`solve_pattern`."""
     n = len(perm)
     m = 2 * (n - 1)
     pins: List[GridNode] = [(i, perm[i]) for i in range(n)]
@@ -168,7 +205,9 @@ def solve_pattern(
                         bucket.append(
                             shift_solution(s, ev, ("ext", u, v, s.payload))
                         )
-            out[v] = prune_front(bucket, mode=prune_mode)
+            front = prune_front(bucket, mode=prune_mode)
+            count_prune(len(bucket), len(front))
+            out[v] = front
         return out
 
     for si, s_node in enumerate(sinks):
@@ -226,7 +265,9 @@ def solve_pattern(
                                 )
                             )
                 if bucket:
-                    merged[v] = prune_front(bucket, mode=prune_mode)
+                    front = prune_front(bucket, mode=prune_mode)
+                    count_prune(len(bucket), len(front))
+                    merged[v] = front
             S[mask] = closure(merged)
 
     raw = S[full][source] if S[full] else []
@@ -235,8 +276,9 @@ def solve_pattern(
     finals: List[SymbolicSolution] = [
         SymbolicSolution(s.w, s.rows, _collect_edges(s.payload)) for s in raw
     ]
-    finals = prune_front(finals, mode=prune_mode)
-    return PatternSolutions(tuple(perm), source_col, finals)
+    pruned_finals = prune_front(finals, mode=prune_mode)
+    count_prune(len(finals), len(pruned_finals))
+    return PatternSolutions(tuple(perm), source_col, pruned_finals)
 
 
 def enumerate_canonical_patterns(n: int) -> Iterator[Pattern]:
@@ -272,17 +314,23 @@ def generate_degree(
     patterns would bias statistics towards near-sorted permutations,
     which have unusually simple Hanan structure).
     """
+    import time as _time
+
     table: Dict[Pattern, PatternSolutions] = {}
     solved = 0
-    for i, (perm, src) in enumerate(enumerate_canonical_patterns(n)):
-        if stride > 1 and i % stride:
-            continue
-        if limit is not None and solved >= limit:
-            break
-        table[(perm, src)] = solve_pattern(perm, src, prune_mode=prune_mode)
-        solved += 1
-        if progress is not None:
-            progress(i, (perm, src))
+    t0 = _time.perf_counter()
+    with span("lut.generate_degree"):
+        for i, (perm, src) in enumerate(enumerate_canonical_patterns(n)):
+            if stride > 1 and i % stride:
+                continue
+            if limit is not None and solved >= limit:
+                break
+            table[(perm, src)] = solve_pattern(perm, src, prune_mode=prune_mode)
+            solved += 1
+            if progress is not None:
+                progress(i, (perm, src))
+    if _obs_enabled():
+        timer_observe(f"lut.gen_degree_{n}_seconds", _time.perf_counter() - t0)
     return table
 
 
@@ -304,8 +352,12 @@ def generate_degree_parallel(
     Patterns are independent, so generation is embarrassingly parallel;
     results are deterministic and identical to the serial path. Falls back
     to serial execution when only one job is requested.
+
+    Only the parent-side wall time is profiled (``lut.gen_degree_<n>_seconds``);
+    worker-internal counters stay in the workers.
     """
     import multiprocessing
+    import time as _time
 
     if jobs == 1:
         return generate_degree(n, prune_mode=prune_mode, limit=limit)
@@ -315,6 +367,11 @@ def generate_degree_parallel(
             break
         patterns.append(p)
     workload = [(perm, src, prune_mode) for perm, src in patterns]
-    with multiprocessing.Pool(processes=jobs) as pool:
-        results = pool.map(_solve_worker, workload)
+    t0 = _time.perf_counter()
+    with span("lut.generate_degree_parallel"):
+        with multiprocessing.Pool(processes=jobs) as pool:
+            results = pool.map(_solve_worker, workload)
+    if _obs_enabled():
+        counter_add("lut.patterns_solved", len(results))
+        timer_observe(f"lut.gen_degree_{n}_seconds", _time.perf_counter() - t0)
     return dict(results)

@@ -1,0 +1,95 @@
+"""``repro.obs`` — zero-dependency observability for the routing pipeline.
+
+The measurement substrate every perf PR reports against: counters, gauges,
+timers with percentiles, and nestable tracing spans, all aggregated in one
+process-global registry with JSON / Prometheus exporters.
+
+Off by default: until :func:`enable` is called every primitive is a no-op
+(a flag check), so library users who never profile pay nothing. Typical
+profiling session::
+
+    from repro import obs
+
+    obs.enable()
+    router.route(net)                      # instrumented end to end
+    print(obs.span_tree_report())          # where the time went
+    obs.write_bench_json("route")          # BENCH_route.json for diffing
+    obs.disable(); obs.reset()
+
+Instrumented out of the box: ``PatLabor.route`` dispatch and local search,
+the Pareto-DW and Pareto-KS engines, the translation cache, batch routing
+(including per-worker merges from subprocesses), LUT generation, and the
+evaluation runner. ``docs/observability.md`` catalogues every metric name
+and the span hierarchy; ``patlabor route --profile`` prints the report
+from the command line.
+"""
+
+from __future__ import annotations
+
+from .export import dump_json, snapshot, to_prometheus, write_bench_json
+from .registry import Registry, TimerStat, get_registry, _REGISTRY
+from .report import metrics_summary, span_tree_report
+from .spans import current_span_path, span
+
+
+def enable() -> None:
+    """Turn instrumentation on (process-global)."""
+    _REGISTRY.enable()
+
+
+def disable() -> None:
+    """Turn instrumentation off; collected metrics are kept until reset."""
+    _REGISTRY.disable()
+
+
+def enabled() -> bool:
+    """Whether the global registry is currently recording."""
+    return _REGISTRY.enabled
+
+
+def reset() -> None:
+    """Drop every collected metric (does not change enabled/disabled)."""
+    _REGISTRY.reset()
+
+
+def counter_add(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` (no-op while disabled)."""
+    _REGISTRY.counter_add(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+    _REGISTRY.gauge_set(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to ``value`` if larger (no-op while disabled)."""
+    _REGISTRY.gauge_max(name, value)
+
+
+def timer_observe(name: str, seconds: float) -> None:
+    """Record one duration sample for timer ``name`` (no-op while disabled)."""
+    _REGISTRY.timer_observe(name, seconds)
+
+
+__all__ = [
+    "Registry",
+    "TimerStat",
+    "counter_add",
+    "current_span_path",
+    "disable",
+    "dump_json",
+    "enable",
+    "enabled",
+    "gauge_max",
+    "gauge_set",
+    "get_registry",
+    "metrics_summary",
+    "reset",
+    "snapshot",
+    "span",
+    "span_tree_report",
+    "timer_observe",
+    "to_prometheus",
+    "write_bench_json",
+]

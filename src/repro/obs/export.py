@@ -1,0 +1,96 @@
+"""Exporters: metrics snapshots as JSON files and Prometheus text.
+
+Two formats cover the two consumers:
+
+* **JSON** (:func:`write_bench_json`, :func:`dump_json`) — the structured
+  ``BENCH_<name>.json`` artefacts that ``benchmarks/`` writes and later
+  perf PRs diff against;
+* **Prometheus text** (:func:`to_prometheus`) — the ``# TYPE``-annotated
+  exposition format, so a scraping deployment needs no adapter.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .registry import Registry, get_registry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def snapshot(registry: Optional[Registry] = None) -> Dict[str, object]:
+    """The registry's current metrics as a plain JSON-ready dict."""
+    return (registry or get_registry()).snapshot()
+
+
+def dump_json(
+    path: Union[str, Path],
+    *,
+    registry: Optional[Registry] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the full snapshot (plus caller ``extra`` keys) to ``path``."""
+    payload: Dict[str, object] = dict(extra or {})
+    payload["metrics"] = snapshot(registry)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_bench_json(
+    name: str,
+    *,
+    directory: Union[str, Path] = ".",
+    registry: Optional[Registry] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory`` and return its path.
+
+    ``extra`` keys land at the top level next to ``"metrics"`` — put the
+    headline numbers (cache hit-rate, nets/sec) there so downstream diffs
+    don't need to dig through the span tree.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return dump_json(directory / f"BENCH_{name}.json", registry=registry, extra=extra)
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def to_prometheus(registry: Optional[Registry] = None) -> str:
+    """The snapshot in Prometheus text exposition format.
+
+    Counters and gauges map directly; timers and spans become summaries
+    (``_count`` / ``_sum`` plus ``{quantile=...}`` sample lines; span
+    paths are carried in a ``path`` label).
+    """
+    snap = snapshot(registry)
+    lines = []
+    for name, value in sorted(snap["counters"].items()):  # type: ignore[union-attr]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted(snap["gauges"].items()):  # type: ignore[union-attr]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, stat in sorted(snap["timers"].items()):  # type: ignore[union-attr]
+        metric = _prom_name(name) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        for q, quantile in (("p50_s", "0.5"), ("p90_s", "0.9"), ("p99_s", "0.99")):
+            lines.append(f'{metric}{{quantile="{quantile}"}} {stat[q]}')
+        lines.append(f"{metric}_sum {stat['total_s']}")
+        lines.append(f"{metric}_count {stat['count']}")
+    for path, stat in sorted(snap["spans"].items()):  # type: ignore[union-attr]
+        lines.append(
+            f'repro_span_seconds_sum{{path="{path}"}} {stat["total_s"]}'
+        )
+        lines.append(
+            f'repro_span_seconds_count{{path="{path}"}} {stat["count"]}'
+        )
+    return "\n".join(lines) + "\n"

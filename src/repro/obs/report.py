@@ -1,0 +1,87 @@
+"""Human-readable rendering of the collected metrics.
+
+:func:`span_tree_report` reconstructs the span hierarchy from the recorded
+``parent/child`` paths and prints it as an indented tree with call counts,
+total time, and percentage of the parent — the ``--profile`` output of the
+CLI. :func:`metrics_summary` lists counters, gauges, and timer
+percentiles below it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .registry import Registry, get_registry
+
+
+def _children(paths: List[str], prefix: str) -> List[str]:
+    """Direct children of ``prefix`` among the recorded span paths."""
+    depth = prefix.count("/") + 1 if prefix else 0
+    out = []
+    for p in paths:
+        if (not prefix or p.startswith(prefix + "/")) and p.count("/") == depth:
+            out.append(p)
+    return out
+
+
+def span_tree_report(registry: Optional[Registry] = None) -> str:
+    """The span hierarchy as an indented text tree.
+
+    Each line shows the span name, call count, total seconds, and share of
+    its parent's total time ("self" time is the parent's unattributed
+    remainder, visible as percentages not summing to 100).
+    """
+    reg = registry or get_registry()
+    spans = reg.spans
+    if not spans:
+        return "span tree: (no spans recorded)"
+    paths = sorted(spans)
+    lines = ["span tree (count · total · % of parent)"]
+
+    def render(path: str, indent: int, parent_total: Optional[float]) -> None:
+        stat = spans[path]
+        name = path.rsplit("/", 1)[-1]
+        share = (
+            f"{100.0 * stat.total / parent_total:5.1f}%"
+            if parent_total
+            else "  100%"
+        )
+        lines.append(
+            f"{'  ' * indent}{name:<{max(1, 40 - 2 * indent)}} "
+            f"{stat.count:>7}x {stat.total:>9.3f}s {share}"
+        )
+        for child in sorted(
+            _children(paths, path), key=lambda p: -spans[p].total
+        ):
+            render(child, indent + 1, stat.total)
+
+    for root in sorted(_children(paths, ""), key=lambda p: -spans[p].total):
+        render(root, 0, None)
+    return "\n".join(lines)
+
+
+def metrics_summary(registry: Optional[Registry] = None) -> str:
+    """Counters, gauges, and timer percentiles as aligned text."""
+    reg = registry or get_registry()
+    snap = reg.snapshot()
+    lines: List[str] = []
+    counters: Dict[str, float] = snap["counters"]  # type: ignore[assignment]
+    gauges: Dict[str, float] = snap["gauges"]  # type: ignore[assignment]
+    timers: Dict[str, Dict[str, float]] = snap["timers"]  # type: ignore[assignment]
+    if counters:
+        lines.append("counters")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<44} {value:>12g}")
+    if gauges:
+        lines.append("gauges")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<44} {value:>12g}")
+    if timers:
+        lines.append("timers (count · mean · p50 / p90 / p99)")
+        for name, st in sorted(timers.items()):
+            lines.append(
+                f"  {name:<36} {st['count']:>7g}x {st['mean_s']*1e3:>9.3f}ms "
+                f"{st['p50_s']*1e3:>8.3f} / {st['p90_s']*1e3:>8.3f} / "
+                f"{st['p99_s']*1e3:>8.3f} ms"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,80 @@
+"""Nestable tracing spans: ``with span("dw.merge"): ...``.
+
+A span measures one timed region. Spans nest: each thread keeps a stack of
+active span names, and a span's duration is recorded under its full
+``parent/child/...`` path (e.g. ``patlabor.route/patlabor.local_search/
+dw.solve``), which is what the span-tree report renders.
+
+When the registry is disabled, :func:`span` returns a shared no-op context
+manager — no allocation, no clock read — so instrumented code pays only a
+function call per region.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import List
+
+from .registry import _REGISTRY
+
+_tls = threading.local()
+
+
+def _stack() -> List[str]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        _stack().append(self.name)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dt = perf_counter() - self._t0
+        stack = _stack()
+        path = "/".join(stack)
+        stack.pop()
+        _REGISTRY.span_observe(path, dt)
+        return False
+
+
+def span(name: str):
+    """Context manager timing a named region (no-op while disabled).
+
+    Use static, low-cardinality names (``"dw.merge"``, not one name per
+    net); per-item detail belongs in counters and timer samples.
+    """
+    if not _REGISTRY.enabled:
+        return _NOOP
+    return _Span(name)
+
+
+def current_span_path() -> str:
+    """The active span path of the calling thread ("" outside any span)."""
+    return "/".join(_stack())

@@ -22,6 +22,18 @@ class TestTranslationKey:
         b = Net.from_points((0, 0), [(1, 2)])
         assert translation_key(a) != translation_key(b)
 
+    def test_sub_micro_noise_shares_key(self):
+        # The documented contract: source-relative coordinates are rounded
+        # to 1e-6, so noise well below that collapses onto one key.
+        a = Net.from_points((0, 0), [(1.0, 1.0), (2.0, 3.0)])
+        b = Net.from_points((0, 0), [(1.0 + 4e-7, 1.0 - 4e-7), (2.0, 3.0)])
+        assert translation_key(a) == translation_key(b)
+
+    def test_above_micro_difference_splits_key(self):
+        a = Net.from_points((0, 0), [(1.0, 1.0), (2.0, 3.0)])
+        b = Net.from_points((0, 0), [(1.0 + 2e-6, 1.0), (2.0, 3.0)])
+        assert translation_key(a) != translation_key(b)
+
 
 class TestCachedRouter:
     def test_hit_on_exact_repeat(self):
@@ -63,6 +75,34 @@ class TestCachedRouter:
             router.route(n)
         router.route(nets[0])  # evicted: must be a miss again
         assert router.misses == 4
+
+    def test_sub_micro_noise_shares_cache_entry(self):
+        # Regression for the 1e-6 rounding contract of translation_key:
+        # nets differing by < 1e-6 hit the same entry and serve valid
+        # trees snapped onto the query net's own pins...
+        router = CachedRouter(PatLabor())
+        a = Net.from_points((0, 0), [(10.0, 2.0), (7.0, 9.0), (3.0, 8.0)])
+        b = Net.from_points(
+            (0, 0), [(10.0 + 4e-7, 2.0), (7.0, 9.0 - 4e-7), (3.0, 8.0)]
+        )
+        first = router.route(a)
+        second = router.route(b)
+        assert router.hits == 1 and router.misses == 1
+        assert [(w, d) for w, d, _ in first] == [
+            (w, d) for w, d, _ in second
+        ]
+        for _w, _d, tree in second:
+            tree.validate()
+            assert tree.net.key() == b.key()
+
+    def test_above_micro_difference_misses(self):
+        # ...while nets differing by > 1e-6 get their own entries.
+        router = CachedRouter(PatLabor())
+        a = Net.from_points((0, 0), [(10.0, 2.0), (7.0, 9.0), (3.0, 8.0)])
+        b = Net.from_points((0, 0), [(10.0 + 2e-6, 2.0), (7.0, 9.0), (3.0, 8.0)])
+        router.route(a)
+        router.route(b)
+        assert router.hits == 0 and router.misses == 2
 
     def test_hit_rate_and_clear(self):
         router = CachedRouter(PatLabor())

@@ -1,0 +1,46 @@
+"""Docstring lint: every module under ``src/repro/`` must open with one.
+
+Usage::
+
+    python -m tools.check_docstrings [root]
+
+Walks ``root`` (default ``src/repro``), parses each ``.py`` file, and
+exits 1 listing every module whose AST has no module docstring. CI runs
+this so the API docs never drift toward undocumented modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+
+def modules_missing_docstrings(root: Path) -> List[Path]:
+    """Paths under ``root`` whose modules lack a docstring."""
+    missing = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        if not ast.get_docstring(tree):
+            missing.append(path)
+    return missing
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    missing = modules_missing_docstrings(root)
+    if missing:
+        print(f"{len(missing)} module(s) missing a module docstring:")
+        for path in missing:
+            print(f"  {path}")
+        return 1
+    print(f"docstring lint ok: every module under {root} has a docstring")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
