@@ -9,11 +9,18 @@ gen-nets    Generate a synthetic ICCAD-15-like workload into a ``.nets`` file.
 compare     Run PatLabor vs SALT vs YSD on a net file and print
             Table III / Table IV style summaries.
 draw        Render a net's Pareto-optimal trees to SVG files.
+obs         Performance-tracking surface over the run ledger:
+            ``obs diff <run-a> <run-b>`` (per-metric deltas),
+            ``obs check --baseline FILE`` (exit non-zero on regression),
+            ``obs ledger`` (list recorded runs).
 
 ``route``, ``gen-lut``, and ``compare`` accept ``--profile`` (print a
 span-tree report and metric summary after the command, via
 :mod:`repro.obs`) and ``--profile-json PATH`` (also dump the metrics
-snapshot as JSON — e.g. ``BENCH_route.json``).
+snapshot as JSON — e.g. ``BENCH_route.json``), plus ``--trace PATH``
+(Chrome-trace / Perfetto JSON of the span tree), ``--events PATH``
+(structured JSONL event log), and ``--ledger PATH`` (append a run record
+to the performance ledger).
 """
 
 from __future__ import annotations
@@ -144,6 +151,77 @@ def _cmd_draw(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .obs import ledger
+
+    try:
+        base = ledger.resolve_record(args.run_a, ledger_path=args.ledger)
+        new = ledger.resolve_record(args.run_b, ledger_path=args.ledger)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = ledger.diff_records(
+        base, new, rel_threshold=args.threshold / 100.0
+    )
+    print(
+        f"baseline: {base.get('run_id')} ({base.get('name')})\n"
+        f"current:  {new.get('run_id')} ({new.get('name')})\n"
+    )
+    print(ledger.render_diff(deltas, only_changed=args.only_changed))
+    worse = ledger.regressions(deltas)
+    if worse:
+        print(f"\n{len(worse)} metric(s) regressed beyond "
+              f"{args.threshold:.0f}% threshold")
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from .obs import ledger
+
+    try:
+        base = ledger.resolve_record(args.baseline, ledger_path=args.ledger)
+        new = ledger.resolve_record(args.run, ledger_path=args.ledger)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = ledger.diff_records(
+        base, new, rel_threshold=args.threshold / 100.0
+    )
+    worse = ledger.regressions(deltas)
+    print(
+        f"perf check: run {new.get('run_id')} vs baseline "
+        f"{base.get('run_id')} ({len(deltas)} comparable metrics, "
+        f"threshold {args.threshold:.0f}%)"
+    )
+    if worse:
+        print(ledger.render_diff(worse))
+        print(f"\nFAIL: {len(worse)} metric(s) regressed")
+        return 1
+    print("OK: no metric regressed beyond threshold")
+    return 0
+
+
+def _cmd_obs_ledger(args: argparse.Namespace) -> int:
+    from .obs import ledger
+
+    records = ledger.read_ledger(args.ledger)
+    if not records:
+        print(f"(ledger {args.ledger} is empty or missing)")
+        return 0
+    for rec in records[-args.count:]:
+        metrics = rec.get("metrics", {})
+        headline = ", ".join(
+            f"{k}={metrics[k]:.4g}"
+            for k in ("nets_per_second", "seconds", "cache_hit_rate")
+            if k in metrics
+        )
+        print(
+            f"{rec.get('run_id')}  {rec.get('name', '?'):<12} "
+            f"sha={str(rec.get('git', {}).get('sha', '?'))[:10]}  {headline}"
+        )
+    return 0
+
+
 def _add_profile_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--profile",
@@ -154,6 +232,22 @@ def _add_profile_flags(p: argparse.ArgumentParser) -> None:
         "--profile-json",
         metavar="PATH",
         help="write the metrics snapshot as JSON to PATH (implies --profile)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome-trace (Perfetto) JSON of the span tree to PATH",
+    )
+    p.add_argument(
+        "--events",
+        metavar="PATH",
+        help="append a structured JSONL event log of the run to PATH",
+    )
+    p.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append a run record (git SHA, config, metrics) to the "
+        "performance ledger at PATH",
     )
 
 
@@ -200,6 +294,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", type=int, default=0, help="net index in the file")
     p.add_argument("--prefix", default="patlabor")
     p.set_defaults(func=_cmd_draw)
+
+    p = sub.add_parser("obs", help="performance ledger: diff / check / list")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    default_ledger = "benchmarks/results/ledger.jsonl"
+    d = obs_sub.add_parser(
+        "diff", help="per-metric deltas between two ledger runs"
+    )
+    d.add_argument("run_a", help="baseline run: run-id prefix, 'latest', "
+                   "-N, or a record .json file")
+    d.add_argument("run_b", help="current run (same forms)")
+    d.add_argument("--ledger", default=default_ledger)
+    d.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="noise threshold in percent (default 10)",
+    )
+    d.add_argument(
+        "--only-changed", action="store_true",
+        help="hide metrics with a zero delta",
+    )
+    d.set_defaults(func=_cmd_obs_diff)
+
+    c = obs_sub.add_parser(
+        "check", help="exit non-zero if a metric regressed vs the baseline"
+    )
+    c.add_argument(
+        "--baseline", required=True,
+        help="baseline record: a .json file (committed baseline), a run-id "
+        "prefix, or -N",
+    )
+    c.add_argument(
+        "--run", default="latest",
+        help="run to check (default: latest ledger record)",
+    )
+    c.add_argument("--ledger", default=default_ledger)
+    c.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="noise threshold in percent (default 10)",
+    )
+    c.set_defaults(func=_cmd_obs_check)
+
+    l = obs_sub.add_parser("ledger", help="list recorded runs")
+    l.add_argument("--ledger", default=default_ledger)
+    l.add_argument("-n", "--count", type=int, default=20)
+    l.set_defaults(func=_cmd_obs_ledger)
     return parser
 
 
@@ -207,28 +346,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``patlabor`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    profiling = getattr(args, "profile", False) or getattr(
-        args, "profile_json", None
+    trace_path = getattr(args, "trace", None)
+    events_path = getattr(args, "events", None)
+    ledger_path = getattr(args, "ledger", None) if hasattr(args, "profile") else None
+    profiling = (
+        getattr(args, "profile", False)
+        or getattr(args, "profile_json", None)
+        or ledger_path
     )
-    if not profiling:
+    if not (profiling or trace_path or events_path):
         return args.func(args)
 
     from . import obs
 
-    obs.enable()
+    if profiling:
+        obs.enable()
+    if trace_path:
+        obs.trace_enable()
+    if events_path:
+        obs.events_enable()
     try:
         rc = args.func(args)
     finally:
         obs.disable()
-    print()
-    print(obs.span_tree_report())
-    summary = obs.metrics_summary()
-    if summary:
+        obs.trace_disable()
+        obs.events_disable()
+    if profiling:
         print()
-        print(summary)
+        print(obs.span_tree_report())
+        summary = obs.metrics_summary()
+        if summary:
+            print()
+            print(summary)
     if getattr(args, "profile_json", None):
         path = obs.dump_json(args.profile_json)
         print(f"\n[metrics written to {path}]")
+    if trace_path:
+        path = obs.write_chrome_trace(trace_path)
+        print(f"[chrome trace written to {path} — load in ui.perfetto.dev]")
+    if events_path:
+        path = obs.flush_events(events_path)
+        print(f"[event log appended to {path}]")
+    if ledger_path:
+        record = obs.make_record(
+            obs.flatten_snapshot(obs.snapshot()),
+            name=args.command,
+            config={
+                k: v
+                for k, v in vars(args).items()
+                if k not in ("func",) and isinstance(v, (str, int, float, bool, type(None)))
+            },
+        )
+        path = obs.append_record(record, ledger_path)
+        print(f"[run {record['run_id']} appended to {path}]")
     return rc
 
 

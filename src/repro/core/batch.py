@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry.net import Net
 from .. import obs
-from ..obs import span, timer_observe
+from ..obs import emit_event, span, timer_observe
 from .cache import CachedRouter
 from .pareto import Solution
 from .patlabor import PatLabor, PatLaborConfig
@@ -84,15 +84,26 @@ def _route_serial(
 def _worker(args):
     """Process-pool worker: returns payload-free fronts (trees don't cross
     process boundaries cheaply; objectives are what batch callers need),
-    plus its metrics snapshot when the parent is profiling."""
-    nets, config_dict, use_cache, profiling, dispatched_at = args
+    plus its metrics snapshot / trace events / log events when the parent
+    has the corresponding observability layer enabled."""
+    nets, config_dict, use_cache, obs_flags, dispatched_at = args
+    profiling, tracing, logging_events = obs_flags
     started_at = time.time()
     registry = obs.get_registry()
-    if profiling:
-        # Fork inherits the parent's registry contents; start clean so the
-        # snapshot sent back covers exactly this worker's share.
+    collector = obs.get_trace_collector()
+    event_log = obs.get_event_log()
+    if profiling or tracing or logging_events:
+        # Fork inherits the parent's buffers; start clean so what is sent
+        # back covers exactly this worker's share.
         registry.reset()
+        collector.clear()
+        event_log.clear()
+    if profiling:
         registry.enable()
+    if tracing:
+        collector.enable()
+    if logging_events:
+        event_log.enable()
     t0 = time.perf_counter()
     config = PatLaborConfig(**config_dict)
     fronts, hits, misses = _route_serial(nets, config, use_cache)
@@ -101,15 +112,19 @@ def _worker(args):
         for name, front in fronts.items()
     }
     stats = None
-    if profiling:
+    if profiling or tracing or logging_events:
         elapsed = time.perf_counter() - t0
         registry.disable()
+        collector.disable()
+        event_log.disable()
         stats = {
             "nets": len(slim),
             "seconds": elapsed,
             "nets_per_second": len(slim) / elapsed if elapsed > 0 else 0.0,
             "queue_wait_seconds": max(0.0, started_at - dispatched_at),
-            "snapshot": registry.snapshot(with_samples=True),
+            "snapshot": registry.snapshot(with_samples=True) if profiling else None,
+            "trace_events": collector.drain() if tracing else [],
+            "events": event_log.drain() if logging_events else [],
         }
     return slim, hits, misses, stats
 
@@ -125,12 +140,25 @@ def route_batch(
 
     With ``jobs > 1`` the nets are sharded across processes and the
     returned solutions carry ``None`` payloads (objectives only); run
-    serially when the trees themselves are needed.
+    serially when the trees themselves are needed. Workers inherit
+    whichever observability layers are enabled in the parent — metrics
+    registry, Chrome-trace capture, structured event log — and ship their
+    buffers back for merging, so cross-process runs still produce one
+    registry, one trace, and one chronological event stream.
     """
     config = config or PatLaborConfig()
     profiling = obs.enabled()
+    tracing = obs.trace_enabled()
+    logging_events = obs.events_enabled()
     t0 = time.perf_counter()
     with span("batch.route_batch"):
+        if not nets:
+            # Nothing to route: skip pool setup entirely. Ratio metrics
+            # (cache_hit_rate, nets_per_second) read 0.0 on this path.
+            result = BatchResult(fronts={}, seconds=time.perf_counter() - t0)
+            if profiling:
+                result.metrics = _batch_metrics(result, workers=[])
+            return result
         if jobs <= 1:
             fronts, hits, misses = _route_serial(nets, config, use_cache)
             result = BatchResult(
@@ -141,6 +169,8 @@ def route_batch(
             )
             if profiling:
                 result.metrics = _batch_metrics(result, workers=None)
+            if logging_events:
+                _emit_batch_event(result, jobs=1)
             return result
 
         import multiprocessing
@@ -150,8 +180,9 @@ def route_batch(
         for i, net in enumerate(nets):
             shards[i % jobs].append(net)
         dispatched_at = time.time()
+        obs_flags = (profiling, tracing, logging_events)
         payload = [
-            (shard, asdict(config), use_cache, profiling, dispatched_at)
+            (shard, asdict(config), use_cache, obs_flags, dispatched_at)
             for shard in shards
             if shard
         ]
@@ -159,6 +190,8 @@ def route_batch(
         hits = misses = 0
         workers: List[Dict[str, float]] = []
         registry = obs.get_registry()
+        collector = obs.get_trace_collector()
+        event_log = obs.get_event_log()
         with multiprocessing.Pool(processes=jobs) as pool:
             for slim, h, m, stats in pool.map(_worker, payload):
                 fronts.update(slim)
@@ -166,7 +199,10 @@ def route_batch(
                 misses += m
                 if stats is not None:
                     snapshot = stats.pop("snapshot")
-                    registry.merge_snapshot(snapshot)
+                    if snapshot is not None:
+                        registry.merge_snapshot(snapshot)
+                    collector.extend(stats.pop("trace_events"))
+                    event_log.extend(stats.pop("events"))
                     timer_observe(
                         "batch.queue_wait_seconds", stats["queue_wait_seconds"]
                     )
@@ -180,7 +216,24 @@ def route_batch(
     )
     if profiling:
         result.metrics = _batch_metrics(result, workers=workers)
+    if logging_events:
+        _emit_batch_event(result, jobs=jobs)
     return result
+
+
+def _emit_batch_event(result: BatchResult, jobs: int) -> None:
+    """One ``batch_done`` summary event per :func:`route_batch` call."""
+    emit_event(
+        "batch_done",
+        nets=len(result.fronts),
+        jobs=jobs,
+        seconds=result.seconds,
+        nets_per_second=result.nets_per_second,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        cache_hit_rate=result.cache_hit_rate,
+        peak_rss_kb=obs.peak_rss_kb(),
+    )
 
 
 def _batch_metrics(

@@ -34,7 +34,14 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from ..exceptions import DegreeTooLargeError
 from ..geometry.hanan import GridNode, HananGrid
 from ..geometry.net import Net
-from ..obs import counter_add, enabled as _obs_enabled, gauge_max, span
+from ..obs import (
+    counter_add,
+    emit_event,
+    enabled as _obs_enabled,
+    events_enabled as _events_enabled,
+    gauge_max,
+    span,
+)
 from ..routing.tree import RoutingTree
 from .pareto import Solution, clean_front, cross, pareto_filter
 
@@ -146,6 +153,11 @@ def pareto_dw(
     flush = stats is None and _obs_enabled()
     if flush:
         stats = DWStats()
+    emitting = _events_enabled()
+    if emitting:
+        import time as _time
+
+        t0 = _time.perf_counter()
     with span("dw.solve"):
         result = _pareto_dw_impl(
             net,
@@ -157,6 +169,18 @@ def pareto_dw(
         )
     if flush:
         _flush_dw_stats(stats)
+    if emitting:
+        event = {
+            "net": net.name or f"net_{id(net):x}",
+            "degree": n,
+            "front_size": len(result),
+            "wall_s": _time.perf_counter() - t0,
+        }
+        if stats is not None:
+            event["subsets"] = stats.subsets
+            event["merge_transitions"] = stats.merge_transitions
+            event["max_front_size"] = stats.max_front_size
+        emit_event("dw_solve", **event)
     return result
 
 

@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..geometry.net import Net
 from ..geometry.point import Point, l1
-from ..obs import counter_add, gauge_max, span
+from ..obs import counter_add, emit_event, events_enabled, gauge_max, span
 from ..routing.tree import RoutingTree
 from .pareto import Solution, clean_front, pareto_filter
 from .pareto_dw import pareto_dw
@@ -96,6 +96,11 @@ def pareto_ks(
                 combined.append(_evaluate(sub, e1 + _tree_edges(t2)))
         return pareto_filter(combined)
 
+    emitting = events_enabled()
+    if emitting:
+        import time as _time
+
+        t0 = _time.perf_counter()
     with span("ks.solve"):
         solutions = solve(list(net.pins), axis=0)
         # Re-root every tree on the true net and measure from the true source.
@@ -104,6 +109,14 @@ def pareto_ks(
         ]
         front = clean_front(final)
     gauge_max("ks.front_size", len(front))
+    if emitting:
+        emit_event(
+            "ks_solve",
+            net=net.name or f"net_{id(net):x}",
+            degree=net.degree,
+            front_size=len(front),
+            wall_s=_time.perf_counter() - t0,
+        )
     return front
 
 

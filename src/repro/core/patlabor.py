@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..geometry.net import Net
 from ..geometry.point import Point, l1
-from ..obs import counter_add, gauge_max, span
+from ..obs import counter_add, emit_event, events_enabled, gauge_max, peak_rss_kb, span
 from ..routing.attach import TreeBuilder
 from ..routing.refine import wirelength_refine
 from ..routing.tree import RoutingTree
@@ -78,13 +78,53 @@ class PatLabor:
 
         Exact (the full Pareto frontier) for ``net.degree <= lam``; a
         tight approximation above.
+
+        With event logging on (:func:`repro.obs.events_enable`) each call
+        emits one ``net_routed`` event — net id, degree, dispatch tier,
+        frontier size, wall time, peak RSS. Emission happens after the
+        frontier is computed and never influences it (results stay
+        bit-identical either way; see ``tests/test_obs.py``).
         """
         with span("patlabor.route"):
-            n = net.degree
-            if n <= self.config.lam:
-                return self.small_frontier(net)
-            counter_add("patlabor.dispatch.local_search")
-            return self.local_search(net)
+            if not events_enabled():
+                return self._route_dispatch(net)
+            import time as _time
+
+            t0 = _time.perf_counter()
+            front = self._route_dispatch(net)
+            emit_event(
+                "net_routed",
+                net=net.name or f"net_{id(net):x}",
+                degree=net.degree,
+                tier=self.dispatch_tier(net),
+                front_size=len(front),
+                wall_s=_time.perf_counter() - t0,
+                peak_rss_kb=peak_rss_kb(),
+            )
+            return front
+
+    def _route_dispatch(self, net: Net) -> List[Solution]:
+        """Degree-based dispatch body of :meth:`route`."""
+        if net.degree <= self.config.lam:
+            return self.small_frontier(net)
+        counter_add("patlabor.dispatch.local_search")
+        return self.local_search(net)
+
+    def dispatch_tier(self, net: Net) -> str:
+        """Which tier :meth:`route` serves ``net`` from.
+
+        Mirrors the dispatch logic without routing anything:
+        ``closed_form`` (degree <= 3), ``lut`` (covered by the table),
+        ``dw`` (exact DP), or ``local_search`` (degree > lambda).
+        """
+        n = net.degree
+        if n > self.config.lam:
+            return "local_search"
+        if n <= 3:
+            return "closed_form"
+        if self.lut is not None and self.lut.covers(n):
+            return "lut"
+        return "dw"
 
     def small_frontier(self, net: Net) -> List[Solution]:
         """Exact frontier for a small net (LUT first, Pareto-DW fallback).

@@ -23,7 +23,14 @@ from ..core.pareto_dw import pareto_dw
 from ..core.pareto_ks import pareto_ks
 from ..core.patlabor import PatLabor
 from ..geometry.net import Net
-from ..obs import enabled as _obs_enabled, span, timer_observe
+from ..obs import (
+    emit_event,
+    enabled as _obs_enabled,
+    events_enabled as _events_enabled,
+    peak_rss_kb,
+    span,
+    timer_observe,
+)
 from .metrics import NetComparison
 
 MethodFn = Callable[[Net], List[Solution]]
@@ -56,7 +63,9 @@ def compare_on_net(
 
     While profiling, per-net wall times land in the ``eval.net_seconds``
     timer (percentiles in the exported snapshot) and each method gets its
-    own ``eval.method_seconds.<name>`` timer.
+    own ``eval.method_seconds.<name>`` timer. With event logging on, one
+    ``eval_net`` event records the net, degree, per-method runtimes, and
+    peak RSS.
     """
     results: Dict[str, List[Solution]] = {}
     runtimes: Dict[str, float] = {}
@@ -74,6 +83,15 @@ def compare_on_net(
                 exact_frontier = pareto_dw(net, with_trees=False)
         if profiling:
             timer_observe("eval.net_seconds", time.perf_counter() - net_t0)
+        if _events_enabled():
+            emit_event(
+                "eval_net",
+                net=net.name or f"net_{id(net):x}",
+                degree=net.degree,
+                runtimes=dict(runtimes),
+                wall_s=time.perf_counter() - net_t0,
+                peak_rss_kb=peak_rss_kb(),
+            )
     return NetComparison(
         net_name=net.name or f"net_{id(net):x}",
         degree=net.degree,

@@ -1,35 +1,85 @@
 """``repro.obs`` — zero-dependency observability for the routing pipeline.
 
-The measurement substrate every perf PR reports against: counters, gauges,
-timers with percentiles, and nestable tracing spans, all aggregated in one
-process-global registry with JSON / Prometheus exporters.
+The measurement substrate every perf PR reports against, in four layers:
 
-Off by default: until :func:`enable` is called every primitive is a no-op
-(a flag check), so library users who never profile pay nothing. Typical
-profiling session::
+* **registry** — counters, gauges, timers with percentiles, and nestable
+  tracing spans, aggregated process-globally with JSON / Prometheus
+  exporters (:mod:`repro.obs.registry`, :mod:`repro.obs.export`);
+* **events** — a structured JSONL event log: one record per routed net /
+  DW solve / batch with net id, degree, dispatch tier, frontier size,
+  wall time, and peak RSS (:mod:`repro.obs.events`);
+* **trace** — Chrome-trace / Perfetto export of the span tree, including
+  cross-process spans merged back from batch workers
+  (:mod:`repro.obs.trace`);
+* **ledger** — an append-only, concurrent-writer-safe run history plus
+  the direction-aware diff engine behind ``repro obs diff`` and the CI
+  perf gate ``repro obs check`` (:mod:`repro.obs.ledger`).
+
+Everything is off by default: until the matching ``enable`` is called,
+every primitive is a no-op behind a flag check, so library users who
+never profile pay nothing. Typical profiling session::
 
     from repro import obs
 
-    obs.enable()
+    obs.enable()                           # metrics + spans
+    obs.events_enable()                    # structured event log
+    obs.trace_enable()                     # Chrome-trace capture
     router.route(net)                      # instrumented end to end
     print(obs.span_tree_report())          # where the time went
     obs.write_bench_json("route")          # BENCH_route.json for diffing
+    obs.write_chrome_trace("trace.json")   # load in ui.perfetto.dev
+    obs.flush_events("events.jsonl")       # one JSON object per event
     obs.disable(); obs.reset()
 
 Instrumented out of the box: ``PatLabor.route`` dispatch and local search,
 the Pareto-DW and Pareto-KS engines, the translation cache, batch routing
 (including per-worker merges from subprocesses), LUT generation, and the
-evaluation runner. ``docs/observability.md`` catalogues every metric name
-and the span hierarchy; ``patlabor route --profile`` prints the report
-from the command line.
+evaluation runner. ``docs/observability.md`` catalogues every metric name,
+event kind, and the span hierarchy; ``patlabor route --profile`` prints
+the report from the command line and ``patlabor obs diff/check`` compares
+ledger runs.
 """
 
 from __future__ import annotations
 
+from .events import (
+    EventLog,
+    drain_events,
+    emit_event,
+    events_disable,
+    events_enable,
+    events_enabled,
+    flush_events,
+    get_event_log,
+    peak_rss_kb,
+    read_events,
+)
 from .export import dump_json, snapshot, to_prometheus, write_bench_json
+from .ledger import (
+    MetricDelta,
+    append_record,
+    diff_metrics,
+    diff_records,
+    flatten_snapshot,
+    make_record,
+    read_ledger,
+    regressions,
+    render_diff,
+    resolve_record,
+)
 from .registry import Registry, TimerStat, get_registry, _REGISTRY
 from .report import metrics_summary, span_tree_report
 from .spans import current_span_path, span
+from .trace import (
+    TraceCollector,
+    chrome_trace,
+    get_trace_collector,
+    trace_disable,
+    trace_enable,
+    trace_enabled,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 
 def enable() -> None:
@@ -48,8 +98,13 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop every collected metric (does not change enabled/disabled)."""
+    """Drop every collected metric, trace event, and buffered event.
+
+    Does not change any enabled/disabled flag.
+    """
     _REGISTRY.reset()
+    get_trace_collector().clear()
+    get_event_log().clear()
 
 
 def counter_add(name: str, value: float = 1) -> None:
@@ -73,23 +128,51 @@ def timer_observe(name: str, seconds: float) -> None:
 
 
 __all__ = [
+    "EventLog",
+    "MetricDelta",
     "Registry",
     "TimerStat",
+    "TraceCollector",
+    "append_record",
+    "chrome_trace",
     "counter_add",
     "current_span_path",
+    "diff_metrics",
+    "diff_records",
     "disable",
+    "drain_events",
     "dump_json",
+    "emit_event",
     "enable",
     "enabled",
+    "events_disable",
+    "events_enable",
+    "events_enabled",
+    "flatten_snapshot",
+    "flush_events",
     "gauge_max",
     "gauge_set",
+    "get_event_log",
     "get_registry",
+    "get_trace_collector",
+    "make_record",
     "metrics_summary",
+    "peak_rss_kb",
+    "read_events",
+    "read_ledger",
+    "regressions",
+    "render_diff",
     "reset",
+    "resolve_record",
     "snapshot",
     "span",
     "span_tree_report",
     "timer_observe",
     "to_prometheus",
+    "trace_disable",
+    "trace_enable",
+    "trace_enabled",
+    "validate_chrome_trace",
     "write_bench_json",
+    "write_chrome_trace",
 ]

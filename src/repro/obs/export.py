@@ -62,17 +62,31 @@ def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format spec.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside ``label="..."``.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def to_prometheus(registry: Optional[Registry] = None) -> str:
     """The snapshot in Prometheus text exposition format.
 
-    Counters and gauges map directly; timers and spans become summaries
+    Counters map directly (with the conventional ``_total`` suffix),
+    gauges map directly, and timers and spans become summaries
     (``_count`` / ``_sum`` plus ``{quantile=...}`` sample lines; span
-    paths are carried in a ``path`` label).
+    paths are carried in an escaped ``path`` label). Lines are emitted in
+    sorted name order per family, so output is deterministic and
+    diff-friendly.
     """
     snap = snapshot(registry)
     lines = []
     for name, value in sorted(snap["counters"].items()):  # type: ignore[union-attr]
-        metric = _prom_name(name)
+        metric = _prom_name(name) + "_total"
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value}")
     for name, value in sorted(snap["gauges"].items()):  # type: ignore[union-attr]
@@ -87,10 +101,11 @@ def to_prometheus(registry: Optional[Registry] = None) -> str:
         lines.append(f"{metric}_sum {stat['total_s']}")
         lines.append(f"{metric}_count {stat['count']}")
     for path, stat in sorted(snap["spans"].items()):  # type: ignore[union-attr]
+        label = _prom_label_value(path)
         lines.append(
-            f'repro_span_seconds_sum{{path="{path}"}} {stat["total_s"]}'
+            f'repro_span_seconds_sum{{path="{label}"}} {stat["total_s"]}'
         )
         lines.append(
-            f'repro_span_seconds_count{{path="{path}"}} {stat["count"]}'
+            f'repro_span_seconds_count{{path="{label}"}} {stat["count"]}'
         )
     return "\n".join(lines) + "\n"

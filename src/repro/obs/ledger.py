@@ -1,0 +1,374 @@
+"""Run ledger: append-only JSONL history of benchmark runs, plus diffing.
+
+Every benchmark / profiled CLI run appends one **record** to a ledger file
+(default ``benchmarks/results/ledger.jsonl``), so performance becomes a
+*longitudinal* signal instead of a pile of ad-hoc ``BENCH_*.json`` files.
+A record is::
+
+    {"run_id": "r-1754400000-ab12cd34", "ts": <unix seconds>,
+     "name": "profile",
+     "git": {"sha": "...", "branch": "..."},
+     "config": {...},                     # whatever the producer ran with
+     "metrics": {"nets_per_second": 412.0, "seconds": 1.43, ...},
+     "environment": {"python": "3.12.1", "platform": "...",
+                     "cpu_count": 16, "hostname": "..."}}
+
+``metrics`` is a *flat* name→number mapping (see :func:`flatten_snapshot`
+for deriving one from a registry snapshot) because flat dicts are what the
+diff engine compares.
+
+**Writer safety.** :func:`append_record` serialises the record to one
+line, then writes it with ``O_APPEND`` under an ``fcntl`` exclusive lock
+(lock skipped where unavailable), so concurrent benchmark shards never
+interleave partial lines and a reader never sees a torn record.
+
+**Diffing.** :func:`diff_metrics` compares two flat metric dicts with
+direction awareness (``*_seconds`` down is good, ``*_per_second`` up is
+good — see :func:`metric_direction`) and per-metric noise thresholds;
+:func:`regressions` filters to the deltas that exceed threshold in the
+bad direction. ``repro obs diff`` / ``repro obs check`` (see
+:mod:`repro.cli`) are thin wrappers over these, and CI runs ``check``
+against the committed baseline as a soft perf gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+try:  # POSIX advisory locking; other platforms fall back to O_APPEND only.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+PathLike = Union[str, Path]
+
+#: Default ledger location, relative to the repository root.
+DEFAULT_LEDGER = Path("benchmarks") / "results" / "ledger.jsonl"
+
+#: Default relative noise threshold for timing-ish metrics (wall clocks on
+#: shared CI runners jitter; 10% separates signal from scheduler noise).
+DEFAULT_REL_THRESHOLD = 0.10
+
+#: Absolute floor under which deltas are ignored regardless of ratio
+#: (a 2µs→3µs "regression" is 50% relative and still meaningless).
+DEFAULT_ABS_FLOOR = 1e-6
+
+
+# --------------------------------------------------------------- record build
+
+
+def git_info(cwd: Optional[PathLike] = None) -> Dict[str, str]:
+    """Current git ``{"sha": ..., "branch": ...}`` ("unknown" outside a repo)."""
+    out = {"sha": "unknown", "branch": "unknown"}
+    for key, args in (
+        ("sha", ["git", "rev-parse", "HEAD"]),
+        ("branch", ["git", "rev-parse", "--abbrev-ref", "HEAD"]),
+    ):
+        try:
+            proc = subprocess.run(
+                args,
+                cwd=str(cwd) if cwd else None,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            if proc.returncode == 0:
+                out[key] = proc.stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            pass
+    return out
+
+
+def environment_info() -> Dict[str, object]:
+    """The runtime environment snapshot stored in every ledger record."""
+    try:
+        hostname = socket.gethostname()
+    except OSError:  # pragma: no cover - exotic hosts
+        hostname = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 0,
+        "hostname": hostname,
+    }
+
+
+def make_record(
+    metrics: Dict[str, float],
+    *,
+    name: str = "run",
+    config: Optional[Dict[str, object]] = None,
+    run_id: Optional[str] = None,
+    cwd: Optional[PathLike] = None,
+) -> Dict[str, object]:
+    """Build a ledger record (without writing it) from flat ``metrics``."""
+    ts = time.time()
+    return {
+        "run_id": run_id or f"r-{int(ts)}-{uuid.uuid4().hex[:8]}",
+        "ts": ts,
+        "name": name,
+        "git": git_info(cwd),
+        "config": dict(config or {}),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+        "environment": environment_info(),
+    }
+
+
+def flatten_snapshot(snap: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a registry snapshot into the ledger's metric namespace.
+
+    Counters and gauges keep their names; timers and spans contribute
+    ``<name>.total_s`` and ``<name>.mean_s`` (the two numbers the diff
+    engine can meaningfully threshold).
+    """
+    flat: Dict[str, float] = {}
+    for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
+        flat[name] = float(value)
+    for name, value in snap.get("gauges", {}).items():  # type: ignore[union-attr]
+        flat[name] = float(value)
+    for family in ("timers", "spans"):
+        for name, stat in snap.get(family, {}).items():  # type: ignore[union-attr]
+            flat[f"{name}.total_s"] = float(stat["total_s"])
+            flat[f"{name}.mean_s"] = float(stat["mean_s"])
+    return flat
+
+
+# ------------------------------------------------------------------ appending
+
+
+def append_record(record: Dict[str, object], path: PathLike = DEFAULT_LEDGER) -> Path:
+    """Atomically append one record to the ledger at ``path``.
+
+    The record is serialised to a single line first, the file is opened
+    ``O_APPEND``, and the write happens under an exclusive ``flock`` (when
+    the platform has one), so concurrent writers — parallel benchmark
+    shards, a CI matrix — can share one ledger without torn lines.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            os.write(fd, data)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+    return path
+
+
+def read_ledger(path: PathLike = DEFAULT_LEDGER) -> List[Dict[str, object]]:
+    """Every record in the ledger, oldest first ([] for a missing file)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    out: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def resolve_record(
+    spec: str, *, ledger_path: PathLike = DEFAULT_LEDGER
+) -> Dict[str, object]:
+    """Look up one record by flexible ``spec``.
+
+    Accepted forms: ``latest`` (or ``-1``, ``-2``, ... counting back from
+    the newest), a ``run_id`` prefix, or a path to a JSON file holding a
+    single record (how committed baselines are referenced).
+
+    Raises :class:`KeyError` when nothing matches.
+    """
+    candidate = Path(spec)
+    if candidate.suffix == ".json" and candidate.exists():
+        return json.loads(candidate.read_text(encoding="utf-8"))
+    records = read_ledger(ledger_path)
+    if spec == "latest":
+        spec = "-1"
+    try:
+        index = int(spec)
+    except ValueError:
+        index = None
+    if index is not None and index < 0:
+        if len(records) < -index:
+            raise KeyError(
+                f"ledger {ledger_path} has {len(records)} record(s); "
+                f"cannot resolve {spec!r}"
+            )
+        return records[index]
+    matches = [
+        r for r in records if str(r.get("run_id", "")).startswith(spec)
+    ]
+    if not matches:
+        raise KeyError(f"no ledger record matches {spec!r}")
+    if len(matches) > 1:
+        raise KeyError(
+            f"{spec!r} is ambiguous ({len(matches)} records); use more digits"
+        )
+    return matches[0]
+
+
+# ------------------------------------------------------------------- diffing
+
+
+@dataclass
+class MetricDelta:
+    """One metric's change between a baseline and a current run."""
+
+    name: str
+    base: float
+    new: float
+    direction: Optional[str]   # "higher" / "lower" is better, None = FYI only
+    threshold: float           # relative threshold applied to this metric
+
+    @property
+    def delta(self) -> float:
+        """Absolute change, ``new - base``."""
+        return self.new - self.base
+
+    @property
+    def rel_delta(self) -> float:
+        """Relative change vs the baseline (signed; 0 when base is 0)."""
+        return self.delta / abs(self.base) if self.base else 0.0
+
+    def _cleared(self, *, bad_side: bool) -> bool:
+        """Whether the move clears the threshold on the requested side."""
+        if self.direction is None or abs(self.delta) <= DEFAULT_ABS_FLOOR:
+            return False
+        worse = self.delta < 0 if self.direction == "higher" else self.delta > 0
+        if worse is not bad_side:
+            return False
+        # A zero baseline gives no magnitude to scale by; any above-floor
+        # move on the chosen side counts.
+        return self.base == 0 or abs(self.rel_delta) > self.threshold
+
+    @property
+    def regressed(self) -> bool:
+        """True when the change exceeds threshold in the *bad* direction."""
+        return self._cleared(bad_side=True)
+
+    @property
+    def improved(self) -> bool:
+        """True when the change exceeds threshold in the *good* direction."""
+        return self._cleared(bad_side=False)
+
+
+#: Ordered (pattern, direction, suffix_only) rules; first match wins. The
+#: higher-is-better rules come first so ``nets_per_second`` is not caught
+#: by the ``seconds`` rule. The short ``_s`` timer suffix is suffix-only,
+#: otherwise it would swallow names like ``max_front_size``.
+_DIRECTION_RULES = (
+    ("per_second", "higher", False),
+    ("_rate", "higher", False),
+    ("hit_rate", "higher", False),
+    ("hits", "higher", False),
+    ("seconds", "lower", False),
+    ("_s", "lower", True),    # the .total_s / .mean_s / .p99_s suffixes
+    ("misses", "lower", False),
+    ("errors", "lower", False),
+    ("fallbacks", "lower", False),
+    ("rss", "lower", False),
+)
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """Which way is better for metric ``name`` (None = informational).
+
+    Uses ordered substring rules — throughput patterns before timing
+    patterns — so e.g. ``nets_per_second`` reads as higher-is-better even
+    though it contains ``seconds``.
+    """
+    for pattern, direction, suffix_only in _DIRECTION_RULES:
+        if name.endswith(pattern) if suffix_only else pattern in name:
+            return direction
+    return None
+
+
+def diff_metrics(
+    base: Dict[str, float],
+    new: Dict[str, float],
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    overrides: Optional[Dict[str, float]] = None,
+) -> List[MetricDelta]:
+    """Per-metric deltas for every metric present in both dicts.
+
+    ``overrides`` maps metric names to per-metric relative thresholds
+    (e.g. ``{"cache_hit_rate": 0.0}`` for a deterministic metric that must
+    not move at all). Metrics present on only one side are skipped — a
+    renamed metric is a review concern, not a perf regression.
+    """
+    overrides = overrides or {}
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(base) & set(new)):
+        deltas.append(
+            MetricDelta(
+                name=name,
+                base=float(base[name]),
+                new=float(new[name]),
+                direction=metric_direction(name),
+                threshold=float(overrides.get(name, rel_threshold)),
+            )
+        )
+    return deltas
+
+
+def regressions(deltas: Sequence[MetricDelta]) -> List[MetricDelta]:
+    """The subset of ``deltas`` that regressed beyond their threshold."""
+    return [d for d in deltas if d.regressed]
+
+
+def diff_records(
+    base: Dict[str, object],
+    new: Dict[str, object],
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    overrides: Optional[Dict[str, float]] = None,
+) -> List[MetricDelta]:
+    """:func:`diff_metrics` over two ledger records' ``metrics`` blocks."""
+    return diff_metrics(
+        base.get("metrics", {}),  # type: ignore[arg-type]
+        new.get("metrics", {}),  # type: ignore[arg-type]
+        rel_threshold=rel_threshold,
+        overrides=overrides,
+    )
+
+
+def render_diff(deltas: Sequence[MetricDelta], *, only_changed: bool = False) -> str:
+    """Aligned text table of metric deltas (the ``obs diff`` output).
+
+    Each line flags direction-aware verdicts: ``REGRESSED`` / ``improved``
+    when the move clears the metric's threshold, blank otherwise.
+    """
+    rows = [d for d in deltas if not only_changed or d.delta]
+    if not rows:
+        return "(no comparable metrics)"
+    name_w = max(len(d.name) for d in rows)
+    lines = [
+        f"{'metric':<{name_w}} {'baseline':>14} {'current':>14} "
+        f"{'delta':>12} {'rel':>8}  verdict"
+    ]
+    for d in rows:
+        verdict = "REGRESSED" if d.regressed else ("improved" if d.improved else "")
+        lines.append(
+            f"{d.name:<{name_w}} {d.base:>14.6g} {d.new:>14.6g} "
+            f"{d.delta:>+12.6g} {d.rel_delta:>+7.1%}  {verdict}"
+        )
+    return "\n".join(lines)

@@ -34,7 +34,7 @@ SAMPLE_CAP = 8192
 class TimerStat:
     """Accumulated durations of one timer (or one span path)."""
 
-    __slots__ = ("count", "total", "min", "max", "samples", "_next")
+    __slots__ = ("count", "total", "min", "max", "samples", "errors", "_next")
 
     def __init__(self) -> None:
         self.count = 0
@@ -42,9 +42,13 @@ class TimerStat:
         self.min = math.inf
         self.max = 0.0
         self.samples: List[float] = []
+        #: Observations whose timed body raised (spans flag these so the
+        #: tree and Chrome trace stay well-formed across failures).
+        self.errors = 0
         self._next = 0  # ring-buffer cursor once samples hit SAMPLE_CAP
 
     def observe(self, seconds: float) -> None:
+        """Record one duration (updates count/total/min/max + sample ring)."""
         self.count += 1
         self.total += seconds
         if seconds < self.min:
@@ -67,9 +71,11 @@ class TimerStat:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean duration (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Serialize to plain floats (count, totals, percentiles, errors)."""
         return {
             "count": self.count,
             "total_s": self.total,
@@ -79,12 +85,14 @@ class TimerStat:
             "p50_s": self.percentile(0.50),
             "p90_s": self.percentile(0.90),
             "p99_s": self.percentile(0.99),
+            "errors": self.errors,
         }
 
     def merge(self, other: Dict[str, float], samples: Optional[List[float]] = None) -> None:
         """Fold a serialized :meth:`as_dict` (plus raw samples) into this stat."""
         self.count += int(other.get("count", 0))
         self.total += float(other.get("total_s", 0.0))
+        self.errors += int(other.get("errors", 0))
         if other.get("count", 0):
             self.min = min(self.min, float(other.get("min_s", math.inf)))
             self.max = max(self.max, float(other.get("max_s", 0.0)))
@@ -111,12 +119,15 @@ class Registry:
     # ------------------------------------------------------------ lifecycle
 
     def enable(self) -> None:
+        """Turn recording on (every primitive stops being a no-op)."""
         self.enabled = True
 
     def disable(self) -> None:
+        """Turn recording off; already-recorded metrics are kept."""
         self.enabled = False
 
     def reset(self) -> None:
+        """Drop every recorded metric (the enabled flag is untouched)."""
         with self._lock:
             self.counters.clear()
             self.gauges.clear()
@@ -127,6 +138,7 @@ class Registry:
     # ----------------------------------------------------------- primitives
 
     def counter_add(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0 on first use)."""
         if not self.enabled:
             return
         with self._lock:
@@ -134,6 +146,7 @@ class Registry:
             self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge_set(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
         if not self.enabled:
             return
         with self._lock:
@@ -151,6 +164,7 @@ class Registry:
                 self.gauges[name] = value
 
     def timer_observe(self, name: str, seconds: float) -> None:
+        """Record one duration under timer ``name``."""
         if not self.enabled:
             return
         with self._lock:
@@ -160,7 +174,9 @@ class Registry:
                 stat = self.timers[name] = TimerStat()
             stat.observe(seconds)
 
-    def span_observe(self, path: str, seconds: float) -> None:
+    def span_observe(self, path: str, seconds: float, error: bool = False) -> None:
+        """Record one span duration at tree ``path``; ``error`` marks a
+        span whose body raised."""
         if not self.enabled:
             return
         with self._lock:
@@ -169,6 +185,8 @@ class Registry:
             if stat is None:
                 stat = self.spans[path] = TimerStat()
             stat.observe(seconds)
+            if error:
+                stat.errors += 1
 
     # -------------------------------------------------- snapshot / merging
 

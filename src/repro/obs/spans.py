@@ -5,18 +5,25 @@ active span names, and a span's duration is recorded under its full
 ``parent/child/...`` path (e.g. ``patlabor.route/patlabor.local_search/
 dw.solve``), which is what the span-tree report renders.
 
-When the registry is disabled, :func:`span` returns a shared no-op context
-manager — no allocation, no clock read — so instrumented code pays only a
-function call per region.
+A span is closed by its context manager even when the body raises; the
+recorded stat (and the Chrome-trace event, when tracing is on) is then
+flagged as errored, so the span tree and exported traces stay well-formed
+across failures.
+
+When both the registry and the trace collector are disabled, :func:`span`
+returns a shared no-op context manager — no allocation, no clock read —
+so instrumented code pays only a function call per region.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from time import perf_counter
+from time import perf_counter, time
 from typing import List
 
 from .registry import _REGISTRY
+from .trace import _TRACE
 
 _tls = threading.local()
 
@@ -44,23 +51,37 @@ _NOOP = _NoopSpan()
 
 
 class _Span:
-    __slots__ = ("name", "_t0")
+    __slots__ = ("name", "_t0", "_wall0")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._t0 = 0.0
+        self._wall0 = 0.0
 
     def __enter__(self) -> "_Span":
         _stack().append(self.name)
+        if _TRACE.enabled:
+            self._wall0 = time()
         self._t0 = perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
         dt = perf_counter() - self._t0
         stack = _stack()
         path = "/".join(stack)
         stack.pop()
-        _REGISTRY.span_observe(path, dt)
+        error = exc_type is not None
+        _REGISTRY.span_observe(path, dt, error=error)
+        if _TRACE.enabled:
+            _TRACE.record(
+                self.name,
+                path,
+                self._wall0 or (time() - dt),
+                dt,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                error=error,
+            )
         return False
 
 
@@ -70,7 +91,7 @@ def span(name: str):
     Use static, low-cardinality names (``"dw.merge"``, not one name per
     net); per-item detail belongs in counters and timer samples.
     """
-    if not _REGISTRY.enabled:
+    if not (_REGISTRY.enabled or _TRACE.enabled):
         return _NOOP
     return _Span(name)
 

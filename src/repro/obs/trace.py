@@ -1,0 +1,234 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of the span tree.
+
+The registry stores spans *aggregated* by path; a trace viewer needs the
+individual timed regions. When tracing is enabled
+(:func:`repro.obs.trace_enable`), every span records one **complete
+event** — Trace Event Format phase ``"X"`` — at close::
+
+    {"name": "dw.solve", "cat": "span", "ph": "X",
+     "ts": <wall-clock µs>, "dur": <µs>,
+     "pid": <process>, "tid": <thread>,
+     "args": {"path": "patlabor.route/.../dw.solve"}}
+
+Timestamps are wall-clock (``time.time``) so events from batch worker
+processes land on the same axis as the parent's; each worker keeps its own
+``pid`` lane (:func:`repro.core.batch.route_batch` ships the workers'
+buffers back and merges them with :meth:`TraceCollector.extend`).
+:func:`chrome_trace` assembles the JSON object Perfetto loads directly —
+metadata (``"M"``) naming events first, then the complete events sorted by
+timestamp. Spans whose body raised carry ``args.error = true`` so failed
+regions are visible in the viewer.
+
+:func:`validate_chrome_trace` is the structural checker the tests (and any
+pipeline consumer) use: phases known, timestamps monotonic, durations
+non-negative, B/E events balanced per thread lane.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+TraceEvent = Dict[str, object]
+
+
+class TraceCollector:
+    """Thread-safe buffer of Trace Event Format dicts; off until enabled."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------ lifecycle
+
+    def enable(self) -> None:
+        """Start recording span events (process-local)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; collected events are kept until cleared."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every collected trace event."""
+        with self._lock:
+            self._events.clear()
+
+    # ------------------------------------------------------------ recording
+
+    def record(
+        self,
+        name: str,
+        path: str,
+        wall_t0: float,
+        duration: float,
+        *,
+        pid: int,
+        tid: int,
+        error: bool = False,
+    ) -> None:
+        """Record one completed span as an ``"X"`` event (µs units)."""
+        if not self.enabled:
+            return
+        args: Dict[str, object] = {"path": path}
+        if error:
+            args["error"] = True
+        event: TraceEvent = {
+            "name": name,
+            "cat": "span",
+            "ph": "X",
+            "ts": wall_t0 * 1e6,
+            "dur": max(0.0, duration) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def extend(self, events: List[TraceEvent]) -> None:
+        """Fold another process's drained events into this buffer."""
+        if not events:
+            return
+        with self._lock:
+            self._events.extend(events)
+
+    # ------------------------------------------------------------ consuming
+
+    def events(self) -> List[TraceEvent]:
+        """A snapshot copy of the collected events."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[TraceEvent]:
+        """Return the collected events and clear the buffer."""
+        with self._lock:
+            out = list(self._events)
+            self._events.clear()
+        return out
+
+
+#: The process-global trace collector spans record into.
+_TRACE = TraceCollector()
+
+
+def get_trace_collector() -> TraceCollector:
+    """The process-global :class:`TraceCollector` singleton."""
+    return _TRACE
+
+
+def trace_enable() -> None:
+    """Turn Chrome-trace span capture on (process-global)."""
+    _TRACE.enable()
+
+
+def trace_disable() -> None:
+    """Turn Chrome-trace span capture off; collected events are kept."""
+    _TRACE.disable()
+
+
+def trace_enabled() -> bool:
+    """Whether the global trace collector is currently recording."""
+    return _TRACE.enabled
+
+
+def chrome_trace(collector: Optional[TraceCollector] = None) -> Dict[str, object]:
+    """The collected spans as a Trace Event Format JSON object.
+
+    Process/thread naming metadata comes first, then every complete event
+    sorted by timestamp (Perfetto accepts unsorted input, but sorted output
+    lets consumers assert monotonicity). Load the result directly in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events = (collector or _TRACE).events()
+    spans = sorted(
+        (e for e in events if e.get("ph") != "M"),
+        key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)),
+    )
+    lanes = sorted({(e["pid"], e["tid"]) for e in spans})  # type: ignore[index]
+    meta: List[TraceEvent] = []
+    for pid in sorted({p for p, _ in lanes}):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for pid, tid in lanes:
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"thread {tid}"},
+            }
+        )
+    return {"traceEvents": meta + spans, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], collector: Optional[TraceCollector] = None
+) -> Path:
+    """Write :func:`chrome_trace` as JSON to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(collector)) + "\n", encoding="utf-8")
+    return path
+
+
+def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
+    """Structural problems in a Trace Event Format payload ([] when valid).
+
+    Checks: ``traceEvents`` is a list; every event has a known phase and
+    ``pid``/``tid``; ``X`` events carry non-negative ``ts`` and ``dur``
+    with timestamps non-decreasing in file order; ``B``/``E`` events
+    balance within each ``(pid, tid)`` lane.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts = None
+    open_stacks: Dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "B", "E", "M", "i", "C"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event {i}: missing pid/tid")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"event {i}: ts {ts} < previous {last_ts}")
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+        elif ph in ("B", "E"):
+            lane = (event["pid"], event["tid"])
+            depth = open_stacks.get(lane, 0) + (1 if ph == "B" else -1)
+            if depth < 0:
+                problems.append(f"event {i}: E without matching B on {lane}")
+                depth = 0
+            open_stacks[lane] = depth
+    for lane, depth in sorted(open_stacks.items()):
+        if depth:
+            problems.append(f"lane {lane}: {depth} unclosed B event(s)")
+    return problems

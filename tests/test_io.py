@@ -120,3 +120,52 @@ class TestResultsIo:
         path = tmp_path / "r.jsonl"
         append_results([row], path)
         assert load_results(path)[0].methods["m"][0][2] is None
+
+    def test_roundtrip_from_real_comparison(self, tmp_path):
+        """Persist actual ``compare_on_net`` output and get back every
+        objective pair, method name, and runtime — bit-exact floats."""
+        from repro.core.patlabor import PatLabor
+        from repro.eval.runner import compare_on_net
+
+        rng = random.Random(42)
+        nets = [random_net(d, rng=rng, name=f"rt{d}") for d in (4, 6)]
+        methods = {
+            "patlabor": lambda n: PatLabor().route(n),
+        }
+        rows = [
+            compare_on_net(net, methods, compute_exact=True) for net in nets
+        ]
+        path = tmp_path / "real.jsonl"
+        assert append_results(rows, path) == len(rows)
+        loaded = load_results(path)
+        assert [r.net_name for r in loaded] == [r.net_name for r in rows]
+        for before, after in zip(rows, loaded):
+            assert after.degree == before.degree
+            assert set(after.methods) == set(before.methods)
+            # JSON round-trips IEEE doubles exactly: objectives bit-equal.
+            assert [(w, d) for w, d, _ in after.frontier] == [
+                (w, d) for w, d, _ in before.frontier
+            ]
+            for m in before.methods:
+                assert [(w, d) for w, d, _ in after.methods[m]] == [
+                    (w, d) for w, d, _ in before.methods[m]
+                ]
+            assert after.runtimes == before.runtimes
+
+    def test_roundtrip_empty_collections(self, tmp_path):
+        row = NetComparison(
+            net_name="empty", degree=2, frontier=[], methods={}, runtimes={}
+        )
+        path = tmp_path / "e.jsonl"
+        append_results([row], path)
+        (loaded,) = load_results(path)
+        assert loaded.frontier == [] and loaded.methods == {}
+        assert loaded.runtimes == {}
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gap.jsonl"
+        append_results([self._row()], path)
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write("\n\n")
+        append_results([self._row()], path)
+        assert len(load_results(path)) == 2

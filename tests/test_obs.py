@@ -25,9 +25,13 @@ from repro.geometry.net import random_net
 def clean_registry():
     """Every test starts and ends with a disabled, empty registry."""
     obs.disable()
+    obs.trace_disable()
+    obs.events_disable()
     obs.reset()
     yield
     obs.disable()
+    obs.trace_disable()
+    obs.events_disable()
     obs.reset()
 
 
@@ -96,6 +100,37 @@ class TestRegistry:
         assert snap["counters"] == {} and snap["spans"] == {}
 
 
+class TestSpanExceptions:
+    def test_raising_span_still_closed_and_flagged(self):
+        """A span whose body raises must close (stack unwound) and be
+        flagged errored, so the tree and trace stay well-formed."""
+        obs.enable()
+        obs.trace_enable()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError("boom")
+        # Stack fully unwound: a fresh span is a root again.
+        assert obs.current_span_path() == ""
+        spans = obs.snapshot()["spans"]
+        assert set(spans) == {"outer", "outer/inner"}
+        assert spans["outer"]["errors"] == 1
+        assert spans["outer/inner"]["errors"] == 1
+        # The Chrome-trace events carry the error flag too.
+        traced = {
+            e["args"]["path"]: e
+            for e in obs.get_trace_collector().events()
+        }
+        assert traced["outer/inner"]["args"]["error"] is True
+        assert traced["outer"]["args"]["error"] is True
+
+    def test_non_raising_span_not_flagged(self):
+        obs.enable()
+        with obs.span("ok"):
+            pass
+        assert obs.snapshot()["spans"]["ok"]["errors"] == 0
+
+
 class TestExporters:
     def test_prometheus_text_format(self):
         obs.enable()
@@ -103,11 +138,42 @@ class TestExporters:
         obs.gauge_set("dw.max_front_size", 4)
         obs.timer_observe("eval.net_seconds", 0.5)
         text = obs.to_prometheus()
-        assert "# TYPE repro_cache_hits counter" in text
-        assert "repro_cache_hits 7" in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 7" in text
         assert "# TYPE repro_dw_max_front_size gauge" in text
         assert 'repro_eval_net_seconds_seconds{quantile="0.5"} 0.5' in text
         assert "repro_eval_net_seconds_seconds_count 1" in text
+
+    def test_prometheus_counters_carry_total_suffix(self):
+        obs.enable()
+        obs.counter_add("dw.solves", 2)
+        obs.counter_add("batch.nets", 9)
+        for line in obs.to_prometheus().splitlines():
+            if "counter" in line and line.startswith("# TYPE"):
+                assert line.split()[2].endswith("_total")
+
+    def test_prometheus_label_escaping(self):
+        """Span paths with quotes/backslashes/newlines must be escaped per
+        the exposition format, not emitted raw inside label="..."."""
+        obs.enable()
+        obs.get_registry().span_observe('a"b\\c\nd', 0.1)
+        text = obs.to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert '{path="a"b' not in text
+
+    def test_prometheus_deterministic_ordering(self):
+        obs.enable()
+        for name in ("z.last", "a.first", "m.mid"):
+            obs.counter_add(name, 1)
+            obs.timer_observe(f"t.{name}", 0.1)
+        first = obs.to_prometheus()
+        assert first == obs.to_prometheus()
+        counters = [
+            line.split()[0]
+            for line in first.splitlines()
+            if line.endswith(" 1") and line.startswith("repro_") and "_total" in line
+        ]
+        assert counters == sorted(counters)
 
     def test_write_bench_json(self, tmp_path):
         obs.enable()
@@ -139,6 +205,38 @@ def _fronts_key(front):
     ]
 
 
+class TestEmptyBatchRatios:
+    """Ratio metrics must read 0.0 — not raise — on empty inputs."""
+
+    def test_empty_batch_result_ratios(self):
+        from repro.core.batch import BatchResult
+
+        empty = BatchResult(fronts={}, seconds=0.0)
+        assert empty.cache_hit_rate == 0.0
+        assert empty.nets_per_second == 0.0
+        assert empty.total_solutions == 0
+
+    def test_route_batch_empty_nets(self):
+        result = route_batch([], use_cache=True)
+        assert result.fronts == {}
+        assert result.cache_hit_rate == 0.0
+        assert result.nets_per_second == 0.0
+
+    def test_route_batch_empty_nets_profiled_and_parallel(self):
+        obs.enable()
+        result = route_batch([], jobs=4, use_cache=True)
+        obs.disable()
+        assert result.metrics is not None
+        assert result.metrics["cache_hit_rate"] == 0.0
+        assert result.metrics["nets_per_second"] == 0.0
+        assert result.metrics["workers"] == []
+
+    def test_cached_router_hit_rate_before_any_route(self):
+        from repro.core.cache import CachedRouter
+
+        assert CachedRouter(PatLabor()).hit_rate == 0.0
+
+
 class TestTransparency:
     def test_results_bit_identical_enabled_vs_disabled(self):
         net = random_net(15, rng=random.Random(7), name="deg15")
@@ -151,6 +249,22 @@ class TestTransparency:
         snap = obs.snapshot()
         assert snap["counters"]["patlabor.dispatch.local_search"] == 1
         assert "patlabor.route" in snap["spans"]
+
+    def test_results_bit_identical_with_event_log_and_trace(self):
+        """Event logging and trace capture observe, never steer."""
+        net = random_net(15, rng=random.Random(7), name="deg15")
+        baseline = PatLabor(config=PatLaborConfig(seed=0)).route(net)
+        obs.enable()
+        obs.events_enable()
+        obs.trace_enable()
+        logged = PatLabor(config=PatLaborConfig(seed=0)).route(net)
+        obs.disable()
+        obs.events_disable()
+        obs.trace_disable()
+        assert _fronts_key(baseline) == _fronts_key(logged)
+        events = obs.get_event_log().events()
+        assert any(e["kind"] == "net_routed" for e in events)
+        assert any(e.get("ph") == "X" for e in obs.get_trace_collector().events())
 
     def test_batch_results_identical_and_metrics_attached(self):
         rng = random.Random(8)

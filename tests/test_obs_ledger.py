@@ -1,0 +1,263 @@
+"""Tests for the run ledger and the perf-regression diff engine.
+
+Covers record construction, atomic concurrent appends, record resolution
+(`latest` / ``-N`` / run-id prefix / baseline file), direction-aware
+metric diffing with noise thresholds, and the ``obs diff`` /
+``obs check`` CLI surface — including the acceptance contract that a
+synthetic regression makes ``obs check`` exit non-zero.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs import ledger
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _write_run(path, metrics, name="bench", run_id=None):
+    record = ledger.make_record(metrics, name=name, run_id=run_id)
+    ledger.append_record(record, path)
+    return record
+
+
+class TestRecords:
+    def test_record_shape(self, tmp_path):
+        rec = ledger.make_record({"nets_per_second": 10.0}, name="unit")
+        assert rec["name"] == "unit"
+        assert rec["metrics"] == {"nets_per_second": 10.0}
+        assert {"sha", "branch"} <= set(rec["git"])
+        assert {"python", "platform", "cpu_count", "hostname"} <= set(
+            rec["environment"]
+        )
+        assert rec["run_id"].startswith("r-")
+
+    def test_git_sha_resolves_inside_repo(self):
+        info = ledger.git_info()
+        # The test runs from the repo; a 40-hex sha must come back.
+        assert len(info["sha"]) == 40
+
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = _write_run(path, {"seconds": 1.0})
+        second = _write_run(path, {"seconds": 2.0})
+        records = ledger.read_ledger(path)
+        assert [r["run_id"] for r in records] == [
+            first["run_id"],
+            second["run_id"],
+        ]
+
+    def test_read_missing_ledger_is_empty(self, tmp_path):
+        assert ledger.read_ledger(tmp_path / "absent.jsonl") == []
+
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        n_threads, per_thread = 8, 25
+
+        def writer(tid):
+            for i in range(per_thread):
+                _write_run(
+                    path,
+                    {"seconds": float(i)},
+                    run_id=f"r-{tid}-{i}",
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = ledger.read_ledger(path)  # raises on any torn JSON line
+        assert len(records) == n_threads * per_thread
+        assert len({r["run_id"] for r in records}) == n_threads * per_thread
+
+    def test_flatten_snapshot(self):
+        obs.enable()
+        obs.counter_add("dw.solves", 3)
+        obs.gauge_max("dw.max_front_size", 7)
+        obs.timer_observe("batch.net_seconds", 0.5)
+        with obs.span("patlabor.route"):
+            pass
+        flat = ledger.flatten_snapshot(obs.snapshot())
+        assert flat["dw.solves"] == 3.0
+        assert flat["dw.max_front_size"] == 7.0
+        assert flat["batch.net_seconds.total_s"] == pytest.approx(0.5)
+        assert "patlabor.route.mean_s" in flat
+
+
+class TestResolve:
+    def test_latest_and_negative_indices(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        _write_run(path, {"x": 1.0}, run_id="r-aaa")
+        _write_run(path, {"x": 2.0}, run_id="r-bbb")
+        assert ledger.resolve_record("latest", ledger_path=path)["run_id"] == "r-bbb"
+        assert ledger.resolve_record("-2", ledger_path=path)["run_id"] == "r-aaa"
+
+    def test_run_id_prefix(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        _write_run(path, {"x": 1.0}, run_id="r-abc123")
+        assert (
+            ledger.resolve_record("r-abc", ledger_path=path)["run_id"]
+            == "r-abc123"
+        )
+
+    def test_baseline_json_file(self, tmp_path):
+        rec = ledger.make_record({"x": 5.0}, run_id="r-base")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(rec))
+        resolved = ledger.resolve_record(
+            str(baseline), ledger_path=tmp_path / "none.jsonl"
+        )
+        assert resolved["run_id"] == "r-base"
+
+    def test_unresolvable_specs_raise(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        _write_run(path, {"x": 1.0}, run_id="r-xyz1")
+        _write_run(path, {"x": 1.0}, run_id="r-xyz2")
+        with pytest.raises(KeyError):
+            ledger.resolve_record("r-nope", ledger_path=path)
+        with pytest.raises(KeyError):  # ambiguous prefix
+            ledger.resolve_record("r-xyz", ledger_path=path)
+        with pytest.raises(KeyError):  # out of range
+            ledger.resolve_record("-5", ledger_path=path)
+
+
+class TestDiff:
+    def test_direction_inference(self):
+        assert ledger.metric_direction("nets_per_second") == "higher"
+        assert ledger.metric_direction("cache_hit_rate") == "higher"
+        assert ledger.metric_direction("cache.hits") == "higher"
+        assert ledger.metric_direction("seconds") == "lower"
+        assert ledger.metric_direction("batch.net_seconds.mean_s") == "lower"
+        assert ledger.metric_direction("peak_rss_kb") == "lower"
+        assert ledger.metric_direction("dw.max_front_size") is None
+
+    def test_throughput_drop_is_a_regression(self):
+        deltas = ledger.diff_metrics(
+            {"nets_per_second": 100.0}, {"nets_per_second": 80.0}
+        )
+        (d,) = deltas
+        assert d.regressed and not d.improved
+        assert d.rel_delta == pytest.approx(-0.2)
+
+    def test_small_moves_stay_inside_noise_threshold(self):
+        deltas = ledger.diff_metrics(
+            {"seconds": 1.00, "nets_per_second": 100.0},
+            {"seconds": 1.05, "nets_per_second": 97.0},
+        )
+        assert ledger.regressions(deltas) == []
+
+    def test_timing_increase_beyond_threshold_regresses(self):
+        (d,) = ledger.diff_metrics({"seconds": 1.0}, {"seconds": 1.5})
+        assert d.regressed
+
+    def test_improvement_flagged_not_regressed(self):
+        (d,) = ledger.diff_metrics({"seconds": 2.0}, {"seconds": 1.0})
+        assert d.improved and not d.regressed
+
+    def test_per_metric_threshold_override(self):
+        base, new = {"cache_hit_rate": 0.60}, {"cache_hit_rate": 0.57}
+        assert ledger.regressions(ledger.diff_metrics(base, new)) == []
+        strict = ledger.diff_metrics(
+            base, new, overrides={"cache_hit_rate": 0.01}
+        )
+        assert [d.name for d in ledger.regressions(strict)] == ["cache_hit_rate"]
+
+    def test_tiny_absolute_deltas_ignored(self):
+        (d,) = ledger.diff_metrics({"seconds": 1e-7}, {"seconds": 2e-7})
+        assert not d.regressed  # 100% relative but below the absolute floor
+
+    def test_metrics_on_one_side_only_skipped(self):
+        deltas = ledger.diff_metrics({"a_seconds": 1.0}, {"b_seconds": 1.0})
+        assert deltas == []
+
+    def test_render_diff_mentions_regression(self):
+        deltas = ledger.diff_metrics({"seconds": 1.0}, {"seconds": 2.0})
+        text = ledger.render_diff(deltas)
+        assert "REGRESSED" in text and "seconds" in text
+
+
+class TestCli:
+    def _seed_ledger(self, tmp_path, base_metrics, new_metrics):
+        path = tmp_path / "ledger.jsonl"
+        _write_run(path, base_metrics, run_id="r-base")
+        _write_run(path, new_metrics, run_id="r-new")
+        return path
+
+    def test_obs_diff_reports_deltas(self, tmp_path, capsys):
+        path = self._seed_ledger(
+            tmp_path,
+            {"nets_per_second": 100.0, "seconds": 2.0},
+            {"nets_per_second": 120.0, "seconds": 1.7},
+        )
+        rc = cli_main(["obs", "diff", "-2", "latest", "--ledger", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "nets_per_second" in out and "+20" in out
+        assert "improved" in out
+
+    def test_obs_check_fails_on_synthetic_regression(self, tmp_path, capsys):
+        """The acceptance contract: a regressed metric beyond threshold
+        makes ``obs check --baseline`` exit non-zero."""
+        baseline = ledger.make_record(
+            {"nets_per_second": 100.0, "seconds": 2.0}, run_id="r-base"
+        )
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(json.dumps(baseline))
+        path = tmp_path / "ledger.jsonl"
+        _write_run(  # 40% throughput collapse: way past the 10% threshold
+            path, {"nets_per_second": 60.0, "seconds": 2.05}, run_id="r-new"
+        )
+        rc = cli_main(
+            ["obs", "check", "--baseline", str(baseline_file),
+             "--ledger", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "nets_per_second" in out
+
+    def test_obs_check_passes_within_noise(self, tmp_path, capsys):
+        baseline = ledger.make_record(
+            {"nets_per_second": 100.0, "seconds": 2.0}, run_id="r-base"
+        )
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(json.dumps(baseline))
+        path = tmp_path / "ledger.jsonl"
+        _write_run(
+            path, {"nets_per_second": 96.0, "seconds": 2.08}, run_id="r-new"
+        )
+        rc = cli_main(
+            ["obs", "check", "--baseline", str(baseline_file),
+             "--ledger", str(path)]
+        )
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_obs_check_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        rc = cli_main(
+            ["obs", "check", "--baseline", "r-ghost",
+             "--ledger", str(tmp_path / "ledger.jsonl")]
+        )
+        assert rc == 2
+
+    def test_obs_ledger_lists_runs(self, tmp_path, capsys):
+        path = self._seed_ledger(
+            tmp_path, {"nets_per_second": 1.0}, {"nets_per_second": 2.0}
+        )
+        rc = cli_main(["obs", "ledger", "--ledger", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "r-base" in out and "r-new" in out

@@ -2,19 +2,22 @@
 
 Usage::
 
-    python -m tools.check_docstrings [root]
+    python -m tools.check_docstrings [root] [--strict PATH ...]
 
 Walks ``root`` (default ``src/repro``), parses each ``.py`` file, and
-exits 1 listing every module whose AST has no module docstring. CI runs
-this so the API docs never drift toward undocumented modules.
+exits 1 listing every module whose AST has no module docstring. Each
+``--strict`` path is held to a higher bar: every *public* top-level
+function, class, and public method there must carry a docstring too
+(the observability API in ``src/repro/obs`` is checked this way in CI).
 """
 
 from __future__ import annotations
 
+import argparse
 import ast
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Tuple
 
 
 def modules_missing_docstrings(root: Path) -> List[Path]:
@@ -27,19 +30,77 @@ def modules_missing_docstrings(root: Path) -> List[Path]:
     return missing
 
 
+def _public_defs(tree: ast.Module):
+    """Yield (qualname, node) for public defs: top-level functions,
+    classes, and the public methods of public classes."""
+    defs = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    for node in tree.body:
+        if not isinstance(node, defs) or node.name.startswith("_"):
+            continue
+        yield node.name, node
+        if isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, defs[:2]) and not sub.name.startswith("_"):
+                    yield f"{node.name}.{sub.name}", sub
+
+
+def definitions_missing_docstrings(root: Path) -> List[Tuple[Path, int, str]]:
+    """Public definitions under ``root`` lacking docstrings, as
+    ``(path, lineno, qualified name)`` triples."""
+    missing = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for qualname, node in _public_defs(tree):
+            if not ast.get_docstring(node):
+                missing.append((path, node.lineno, qualname))
+    return missing
+
+
 def main(argv: List[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    parser = argparse.ArgumentParser(
+        prog="check_docstrings", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("root", nargs="?", default="src/repro",
+                        help="tree whose modules must have docstrings")
+    parser.add_argument(
+        "--strict", action="append", default=[], metavar="PATH",
+        help="tree whose public functions/classes/methods must have "
+             "docstrings too (repeatable)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    root = Path(args.root)
     if not root.is_dir():
         print(f"error: {root} is not a directory", file=sys.stderr)
         return 2
+    failed = False
+
     missing = modules_missing_docstrings(root)
     if missing:
+        failed = True
         print(f"{len(missing)} module(s) missing a module docstring:")
         for path in missing:
             print(f"  {path}")
-        return 1
-    print(f"docstring lint ok: every module under {root} has a docstring")
-    return 0
+    else:
+        print(f"docstring lint ok: every module under {root} has a docstring")
+
+    for strict in args.strict:
+        strict_root = Path(strict)
+        if not strict_root.is_dir():
+            print(f"error: {strict_root} is not a directory", file=sys.stderr)
+            return 2
+        undocumented = definitions_missing_docstrings(strict_root)
+        if undocumented:
+            failed = True
+            print(f"{len(undocumented)} public definition(s) under "
+                  f"{strict_root} missing docstrings:")
+            for path, lineno, qualname in undocumented:
+                print(f"  {path}:{lineno}  {qualname}")
+        else:
+            print(f"strict lint ok: every public definition under "
+                  f"{strict_root} is documented")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
