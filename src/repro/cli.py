@@ -3,7 +3,10 @@
 Commands
 --------
 route       Route nets from a ``.nets`` file (or a generated random net)
-            with PatLabor and print each net's Pareto set.
+            with any registered router (``--method``, default PatLabor,
+            optionally behind a ``--cache``) and print each Pareto set.
+routers     List the routers registered with ``repro.engine`` and their
+            capabilities.
 gen-lut     Generate lookup tables for given degrees and save to JSON.
 gen-nets    Generate a synthetic ICCAD-15-like workload into a ``.nets`` file.
 compare     Run PatLabor vs SALT vs YSD on a net file and print
@@ -35,6 +38,7 @@ from .geometry.net import Net, random_net
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    from .engine import EngineSpec, build_engine
     from .io.nets_format import load_nets
     from .viz.ascii_art import front_summary
 
@@ -43,12 +47,21 @@ def _cmd_route(args: argparse.Namespace) -> int:
     else:
         rng = random.Random(args.seed)
         nets = [random_net(args.degree, rng=rng, name="random")]
-    lut = None
-    if args.lut:
-        from .io.lut_io import load_lut
+    options = {}
+    if args.method == "patlabor":
+        lut = None
+        if args.lut:
+            from .io.lut_io import load_lut
 
-        lut = load_lut(args.lut)
-    router = PatLabor(lut=lut, config=PatLaborConfig(lam=args.lam))
+            lut = load_lut(args.lut)
+        options = {"lut": lut, "config": PatLaborConfig(lam=args.lam)}
+    router = build_engine(
+        EngineSpec(
+            router=args.method,
+            router_options=options,
+            cache=None if args.cache == "off" else args.cache,
+        )
+    )
     for net in nets:
         front = router.route(net)
         print(f"{net.name or 'net'} (degree {net.degree}): "
@@ -130,12 +143,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_routers(args: argparse.Namespace) -> int:
+    from .engine import available_routers, create_router, router_entry
+
+    for name in available_routers():
+        entry = router_entry(name)
+        caps = create_router(name).capabilities
+        notes = []
+        if caps.exact_up_to is not None:
+            notes.append(f"exact<={caps.exact_up_to}")
+        if caps.max_degree is not None:
+            notes.append(f"max_degree={caps.max_degree}")
+        if not caps.pareto:
+            notes.append("single-tree")
+        suffix = f" [{', '.join(notes)}]" if notes else ""
+        print(f"{name:<11} {entry.display_name:<9} {entry.summary}{suffix}")
+    return 0
+
+
 def _cmd_draw(args: argparse.Namespace) -> int:
     from .io.nets_format import load_nets
     from .viz.svg import pareto_curve_svg, save_svg, tree_svg
 
+    from .engine import build_engine
+
     nets = load_nets(args.nets)
-    router = PatLabor()
+    router = build_engine("patlabor")
     net = nets[args.index]
     front = router.route(net)
     save_svg(
@@ -262,10 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nets", help=".nets input file")
     p.add_argument("--degree", type=int, default=12, help="random net degree")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--method", default="patlabor",
+        help="router name from the repro.engine registry "
+        "(see `patlabor routers`)",
+    )
+    p.add_argument(
+        "--cache", default="off",
+        choices=["off", "translation", "symmetry"],
+        help="result cache in front of the router (default: off)",
+    )
     p.add_argument("--lam", type=int, default=9, help="PatLabor lambda")
     p.add_argument("--lut", help="lookup-table JSON file")
     _add_profile_flags(p)
     p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser(
+        "routers", help="list the routers registered with repro.engine"
+    )
+    p.set_defaults(func=_cmd_routers)
 
     p = sub.add_parser("gen-lut", help="generate lookup tables")
     p.add_argument("--degrees", default="4,5", help="comma-separated degrees")

@@ -4,13 +4,16 @@ The paper's use case is "route millions of nets"; this module provides the
 throughput layer a production deployment needs:
 
 * :func:`route_batch` — route a net list, optionally across worker
-  processes (nets are independent), with a translation cache in front.
+  processes (nets are independent), through any registered router
+  (``method=...``) with a translation- or symmetry-canonicalizing cache
+  in front (``cache_mode=...``).
 * :class:`BatchResult` — per-net Pareto sets plus throughput statistics.
 
-Worker processes rebuild their own :class:`~repro.core.patlabor.PatLabor`
-(routers hold lookup tables and RNG state that should not be shared), so
-only nets and plain objective results cross process boundaries; trees are
-reconstructed lazily on demand when ``with_trees`` is set.
+Worker processes rebuild their own engine via
+:func:`repro.engine.build.build_engine` (routers hold lookup tables and
+RNG state that should not be shared), so only nets and plain objective
+results cross process boundaries; trees are reconstructed lazily on
+demand when ``with_trees`` is set.
 
 When observability is enabled (:func:`repro.obs.enable`) the run is
 profiled end to end: per-net route times, per-worker throughput and queue
@@ -28,9 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..geometry.net import Net
 from .. import obs
 from ..obs import emit_event, span, timer_observe
-from .cache import CachedRouter
 from .pareto import Solution
-from .patlabor import PatLabor, PatLaborConfig
+from .patlabor import PatLaborConfig
 
 
 @dataclass
@@ -60,12 +62,37 @@ class BatchResult:
         return self.cache_hits / total if total else 0.0
 
 
+def _build_batch_engine(
+    config: PatLaborConfig, use_cache: bool, method: str, cache_mode: str
+):
+    """The per-process engine stack: validation, cache, observability.
+
+    Resolved through the :mod:`repro.engine` registry — ``method`` names
+    any registered router; ``config`` is forwarded to PatLabor only (the
+    other routers take no batch-level configuration).
+    """
+    from ..engine import EngineSpec, build_engine
+
+    options: Dict[str, object] = {}
+    if method == "patlabor":
+        options["config"] = config
+    return build_engine(
+        EngineSpec(
+            router=method,
+            router_options=options,
+            cache=cache_mode if use_cache else None,
+        )
+    )
+
+
 def _route_serial(
-    nets: Sequence[Net], config: PatLaborConfig, use_cache: bool
+    nets: Sequence[Net],
+    config: PatLaborConfig,
+    use_cache: bool,
+    method: str = "patlabor",
+    cache_mode: str = "translation",
 ) -> Tuple[Dict[str, List[Solution]], int, int]:
-    router: object = PatLabor(config=config)
-    if use_cache:
-        router = CachedRouter(router)
+    router = _build_batch_engine(config, use_cache, method, cache_mode)
     fronts: Dict[str, List[Solution]] = {}
     profiling = obs.enabled()
     for i, net in enumerate(nets):
@@ -86,7 +113,7 @@ def _worker(args):
     process boundaries cheaply; objectives are what batch callers need),
     plus its metrics snapshot / trace events / log events when the parent
     has the corresponding observability layer enabled."""
-    nets, config_dict, use_cache, obs_flags, dispatched_at = args
+    nets, config_dict, use_cache, method, cache_mode, obs_flags, dispatched_at = args
     profiling, tracing, logging_events = obs_flags
     started_at = time.time()
     registry = obs.get_registry()
@@ -106,7 +133,7 @@ def _worker(args):
         event_log.enable()
     t0 = time.perf_counter()
     config = PatLaborConfig(**config_dict)
-    fronts, hits, misses = _route_serial(nets, config, use_cache)
+    fronts, hits, misses = _route_serial(nets, config, use_cache, method, cache_mode)
     slim = {
         name: [(w, d, None) for w, d, _t in front]
         for name, front in fronts.items()
@@ -135,8 +162,17 @@ def route_batch(
     config: Optional[PatLaborConfig] = None,
     jobs: int = 1,
     use_cache: bool = True,
+    method: str = "patlabor",
+    cache_mode: str = "translation",
 ) -> BatchResult:
     """Route every net; returns per-net Pareto sets keyed by net name.
+
+    ``method`` names any router registered with :mod:`repro.engine`
+    (``"patlabor"``, ``"salt"``, ``"pareto-ks"``, ...); each worker
+    assembles its own engine stack from that name, so there is no
+    batch-local method table. ``cache_mode`` selects the cache's
+    canonicalization (``"translation"`` or ``"symmetry"``) when
+    ``use_cache`` is set.
 
     With ``jobs > 1`` the nets are sharded across processes and the
     returned solutions carry ``None`` payloads (objectives only); run
@@ -160,7 +196,9 @@ def route_batch(
                 result.metrics = _batch_metrics(result, workers=[])
             return result
         if jobs <= 1:
-            fronts, hits, misses = _route_serial(nets, config, use_cache)
+            fronts, hits, misses = _route_serial(
+                nets, config, use_cache, method, cache_mode
+            )
             result = BatchResult(
                 fronts=fronts,
                 seconds=time.perf_counter() - t0,
@@ -182,7 +220,8 @@ def route_batch(
         dispatched_at = time.time()
         obs_flags = (profiling, tracing, logging_events)
         payload = [
-            (shard, asdict(config), use_cache, obs_flags, dispatched_at)
+            (shard, asdict(config), use_cache, method, cache_mode,
+             obs_flags, dispatched_at)
             for shard in shards
             if shard
         ]

@@ -1,25 +1,46 @@
-"""Routing-result cache with translation invariance.
+"""Routing-result cache with translation and dihedral-symmetry invariance.
 
-VLSI designs repeat cell patterns, so many nets are exact translates of
-one another. Both objectives are translation-invariant, so the cache keys
-nets on their source-relative pin coordinates and serves cache hits by
-rigidly translating the stored trees back to the query position.
+VLSI designs repeat cell patterns, so many nets are exact translates —
+and, because standard cells get mirrored and rotated during placement,
+dihedral images — of one another. Both objectives (wirelength, Elmore
+path length) are invariant under translation and under the eight D4
+symmetries, so the cache can key nets on a *canonical form* and serve
+hits by mapping stored trees back into the query frame:
 
-Wraps any router exposing ``route(net) -> [(w, d, tree), ...]``.
+* ``canonicalize="translation"`` — source-relative pin coordinates (the
+  historical behaviour): equal for rigid translates.
+* ``canonicalize="symmetry"`` — the lexicographically smallest image of
+  the source-relative coordinates under the eight
+  :class:`~repro.geometry.transforms.GridTransform` elements: equal for
+  translates *and* mirrored / rotated copies. Hits apply the inverse
+  transform to the cached trees.
+
+Eviction is true LRU (hits refresh recency); the ``evictions`` attribute
+and the ``cache.evictions`` counter expose how often capacity bites.
+
+Wraps any :class:`~repro.engine.protocol.Router`; this class *is* the
+cache middleware of :func:`repro.engine.build.build_engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # circular at runtime: engine imports this module
+    from ..engine.protocol import RouterCapabilities
 
 from ..core.pareto import Solution
 from ..geometry.net import Net
 from ..geometry.point import Point
+from ..geometry.transforms import ALL_TRANSFORMS, IDENTITY, GridTransform
 from ..obs import counter_add, span
 from ..routing.tree import RoutingTree
 
 CacheKey = Tuple[Tuple[float, float], ...]
+
+#: Accepted ``canonicalize`` modes of :class:`CachedRouter`.
+CANONICALIZE_MODES = ("translation", "symmetry")
 
 
 def translation_key(net: Net) -> CacheKey:
@@ -36,6 +57,30 @@ def translation_key(net: Net) -> CacheKey:
     )
 
 
+def canonical_key(net: Net) -> Tuple[CacheKey, GridTransform]:
+    """Symmetry-canonical key: the smallest dihedral image of the net.
+
+    Applies each of the eight D4 elements to the source-relative pin
+    coordinates (same 1e-6 rounding contract as :func:`translation_key`)
+    and keeps the lexicographically smallest tuple. Returns that key plus
+    the transform mapping the *query* frame onto the canonical frame —
+    two nets share a key exactly when some dihedral-plus-translation
+    motion maps one onto the other, pin order preserved.
+    """
+    x0, y0 = net.source
+    rel = [(p.x - x0, p.y - y0) for p in net.pins]
+    best_key: CacheKey = tuple()
+    best_t = IDENTITY
+    for t in ALL_TRANSFORMS:
+        cand = tuple(
+            (round(cx, 6), round(cy, 6))
+            for cx, cy in (t.apply_point(x, y) for x, y in rel)
+        )
+        if not best_key or cand < best_key:
+            best_key, best_t = cand, t
+    return best_key, best_t
+
+
 def _translate_tree(tree: RoutingTree, net: Net, dx: float, dy: float) -> RoutingTree:
     points = [Point(p.x + dx, p.y + dy) for p in tree.points]
     # Snap pin nodes (always the first ``degree`` points) onto the query
@@ -46,58 +91,134 @@ def _translate_tree(tree: RoutingTree, net: Net, dx: float, dy: float) -> Routin
     return RoutingTree.from_parent(net, points, list(tree.parent))
 
 
-@dataclass
-class CachedRouter:
-    """Memoising wrapper around a Pareto router.
+def _map_tree(
+    tree: RoutingTree,
+    base_net: Net,
+    t_store: GridTransform,
+    t_query: GridTransform,
+    net: Net,
+) -> RoutingTree:
+    """Carry a stored tree into the query frame through the canonical one.
 
-    Attributes
+    Stored frame --``t_store``--> canonical frame --``t_query``^-1-->
+    query frame (plus the rigid translation between sources). Swap and
+    negation are exact in floating point, so exact dihedral copies map
+    bit-for-bit; pin nodes are snapped exactly as in the translation path.
+    """
+    inv = t_query.point_inverse()
+    sx, sy = base_net.source
+    qx, qy = net.source
+    points: List[Point] = []
+    for p in tree.points:
+        cx, cy = t_store.apply_point(p.x - sx, p.y - sy)
+        rx, ry = inv.apply_point(cx, cy)
+        points.append(Point(rx + qx, ry + qy))
+    points[: net.degree] = list(net.pins)
+    return RoutingTree.from_parent(net, points, list(tree.parent))
+
+
+class CachedRouter:
+    """Memoising wrapper around a Pareto router (LRU, canonicalizing).
+
+    Parameters
     ----------
     router:
         Any object with ``route(net)`` returning Pareto solutions.
     max_entries:
-        Cache capacity; oldest entries are evicted FIFO beyond it.
+        Cache capacity; least-recently-used entries are evicted beyond it
+        (hits refresh recency, and eviction only happens when inserting a
+        genuinely new key, so capacity is always fully usable).
+    canonicalize:
+        ``"translation"`` (default) keys on source-relative coordinates;
+        ``"symmetry"`` additionally folds the eight dihedral symmetries
+        into one entry and undoes the transform on hits.
     """
 
-    router: object
-    max_entries: int = 100_000
-    _cache: Dict[CacheKey, Tuple[Net, List[Solution]]] = field(
-        default_factory=dict, repr=False
-    )
-    hits: int = 0
-    misses: int = 0
+    def __init__(
+        self,
+        router: object,
+        max_entries: int = 100_000,
+        canonicalize: str = "translation",
+    ) -> None:
+        if canonicalize not in CANONICALIZE_MODES:
+            raise ValueError(
+                f"unknown canonicalize mode {canonicalize!r}; "
+                f"expected one of {CANONICALIZE_MODES}"
+            )
+        self.router = router
+        self.max_entries = max_entries
+        self.canonicalize = canonicalize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._cache: "OrderedDict[CacheKey, Tuple[Net, GridTransform, List[Solution]]]" = (
+            OrderedDict()
+        )
+
+    @property
+    def name(self) -> str:
+        """The wrapped router's name (middleware transparency)."""
+        return getattr(self.router, "name", type(self.router).__name__)
+
+    @property
+    def capabilities(self) -> "RouterCapabilities":
+        """The wrapped router's capabilities (middleware transparency)."""
+        return getattr(self.router, "capabilities")
+
+    def __getattr__(self, item: str) -> object:
+        # Forward anything else (dispatch_tier, config, ...) to the
+        # wrapped router so the cache composes transparently.
+        return getattr(self.router, item)
+
+    def _key(self, net: Net) -> Tuple[CacheKey, GridTransform]:
+        if self.canonicalize == "symmetry":
+            return canonical_key(net)
+        return translation_key(net), IDENTITY
 
     def route(self, net: Net) -> List[Solution]:
-        """Pareto set of ``net``, served from cache for exact translates."""
+        """Pareto set of ``net``, served from cache for canonical copies."""
         with span("cache.key"):
-            key = translation_key(net)
-        cached = self._cache.get(key)
-        if cached is not None:
+            key, t_query = self._key(net)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
             self.hits += 1
             counter_add("cache.hits")
-            base_net, solutions = cached
-            dx = net.source.x - base_net.source.x
-            dy = net.source.y - base_net.source.y
-            if dx == 0.0 and dy == 0.0 and base_net.key() == net.key():
-                return list(solutions)
-            with span("cache.translate"):
+            base_net, t_store, solutions = entry
+            if t_store == t_query:
+                dx = net.source.x - base_net.source.x
+                dy = net.source.y - base_net.source.y
+                if dx == 0.0 and dy == 0.0 and base_net.key() == net.key():
+                    return list(solutions)
+                with span("cache.translate"):
+                    return [
+                        (w, d, _translate_tree(tree, net, dx, dy))
+                        for w, d, tree in solutions
+                    ]
+            with span("cache.transform"):
                 return [
-                    (w, d, _translate_tree(tree, net, dx, dy))
+                    (w, d, _map_tree(tree, base_net, t_store, t_query, net))
                     for w, d, tree in solutions
                 ]
         self.misses += 1
         counter_add("cache.misses")
         solutions = self.router.route(net)
-        if len(self._cache) >= self.max_entries:
-            self._cache.pop(next(iter(self._cache)))
-        self._cache[key] = (net, list(solutions))
+        if key not in self._cache and len(self._cache) >= self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+            counter_add("cache.evictions")
+        self._cache[key] = (net, t_query, list(solutions))
         return solutions
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of calls served from cache (0.0 before any call)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
+        """Drop every entry and reset the hit/miss/eviction statistics."""
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

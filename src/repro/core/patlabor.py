@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..geometry.net import Net
 from ..geometry.point import Point, l1
-from ..obs import counter_add, emit_event, events_enabled, gauge_max, peak_rss_kb, span
+from ..obs import counter_add, gauge_max, span
 from ..routing.attach import TreeBuilder
 from ..routing.refine import wirelength_refine
 from ..routing.tree import RoutingTree
@@ -60,6 +60,9 @@ class PatLabor:
         Pin-selection policy π; defaults to the shipped trained weights.
     """
 
+    #: Registry name under which :mod:`repro.engine` exposes this class.
+    name = "patlabor"
+
     def __init__(
         self,
         lut=None,
@@ -71,6 +74,17 @@ class PatLabor:
         self.rng = random.Random(self.config.seed)
         self.policy = policy or SelectionPolicy()
 
+    @property
+    def capabilities(self):
+        """:class:`~repro.engine.protocol.RouterCapabilities` of this router.
+
+        The frontier is exact up to the configured lambda; larger nets
+        get the local-search approximation (no hard degree limit).
+        """
+        from ..engine.protocol import RouterCapabilities
+
+        return RouterCapabilities(exact_up_to=self.config.lam)
+
     # ------------------------------------------------------------ dispatch
 
     def route(self, net: Net) -> List[Solution]:
@@ -79,29 +93,14 @@ class PatLabor:
         Exact (the full Pareto frontier) for ``net.degree <= lam``; a
         tight approximation above.
 
-        With event logging on (:func:`repro.obs.events_enable`) each call
-        emits one ``net_routed`` event — net id, degree, dispatch tier,
-        frontier size, wall time, peak RSS. Emission happens after the
-        frontier is computed and never influences it (results stay
-        bit-identical either way; see ``tests/test_obs.py``).
+        Per-net ``net_routed`` events are emitted by the engine's
+        observability middleware (:class:`repro.engine.ObservedRouter`),
+        not here — route through :func:`repro.engine.build_engine` to get
+        them. Instrumentation never influences results (bit-identical
+        either way; see ``tests/test_obs.py``).
         """
         with span("patlabor.route"):
-            if not events_enabled():
-                return self._route_dispatch(net)
-            import time as _time
-
-            t0 = _time.perf_counter()
-            front = self._route_dispatch(net)
-            emit_event(
-                "net_routed",
-                net=net.name or f"net_{id(net):x}",
-                degree=net.degree,
-                tier=self.dispatch_tier(net),
-                front_size=len(front),
-                wall_s=_time.perf_counter() - t0,
-                peak_rss_kb=peak_rss_kb(),
-            )
-            return front
+            return self._route_dispatch(net)
 
     def _route_dispatch(self, net: Net) -> List[Solution]:
         """Degree-based dispatch body of :meth:`route`."""
@@ -162,7 +161,7 @@ class PatLabor:
             if iters is None:
                 iters = max(1, n // self.config.lam)
 
-            attempted: Set[Tuple[int, Tuple[int, ...]]] = set()
+            attempted: Set[AttemptKey] = set()
             for _ in range(iters):
                 counter_add("patlabor.local_search.iterations")
                 worst = max(front, key=lambda s: s[1])
@@ -170,12 +169,12 @@ class PatLabor:
                 with span("patlabor.policy_select"):
                     selection = self.policy.select(net, tree, self.config.lam - 1)
                 counter_add("patlabor.local_search.policy_picks", len(selection))
-                key = (id(tree), tuple(sorted(selection)))
+                key = _attempt_key(worst, selection)
                 if key in attempted:
                     # Same move would repeat: explore a random selection instead.
                     counter_add("patlabor.local_search.random_fallbacks")
                     selection = _shuffled_selection(net, self.config.lam - 1, self.rng)
-                    key = (id(tree), tuple(sorted(selection)))
+                    key = _attempt_key(worst, selection)
                 attempted.add(key)
                 with span("patlabor.expand"):
                     front = pareto_filter(self._expand(net, front, selection))
@@ -346,6 +345,25 @@ def _apply_builder_attachment(
         builder.parent[split_child] = steiner
         target = steiner
     return builder.attach_to_node(p, target)
+
+
+#: Dedup key of one local-search move: the expanded tree's objective pair
+#: plus the (sorted) pin selection.
+AttemptKey = Tuple[Tuple[float, float], Tuple[int, ...]]
+
+
+def _attempt_key(solution: Solution, selection: Sequence[int]) -> AttemptKey:
+    """Stable identity of a local-search move.
+
+    Keyed on the tree's *objective pair*, not ``id(tree)``: CPython
+    reuses object ids after garbage collection, so an id-based key could
+    silently equate a fresh tree with a dead one and suppress a legal
+    move (or, conversely, retry a move already taken). Two trees with
+    equal objectives are interchangeable for the search, so the objective
+    pair is exactly the right granularity.
+    """
+    w, d, _tree = solution
+    return ((w, d), tuple(sorted(selection)))
 
 
 def _shuffled_selection(net: Net, k: int, rng: random.Random) -> List[int]:

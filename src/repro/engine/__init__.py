@@ -1,0 +1,57 @@
+"""``repro.engine`` — the uniform routing-service layer.
+
+The architectural seam between callers and algorithms (see
+``docs/architecture.md``): every tree constructor is a
+:class:`~repro.engine.protocol.Router` resolved by name from one
+registry, and everything cross-cutting — caching, input validation,
+observability — is middleware composed around that protocol by
+:func:`~repro.engine.build.build_engine`. Quickstart::
+
+    from repro.engine import EngineSpec, build_engine
+
+    engine = build_engine(EngineSpec(router="patlabor", cache="symmetry"))
+    front = engine.route(net)          # validated, cached, instrumented
+
+Resolution by name (what ``eval.runner``, ``core.batch``, and the CLI
+use instead of hand-built method dicts)::
+
+    from repro.engine import available_routers, create_router
+
+    salt = create_router("salt")       # case/separator-insensitive
+    print(available_routers())
+"""
+
+from __future__ import annotations
+
+from .protocol import Router, RouterCapabilities
+from .registry import (
+    RouterEntry,
+    available_routers,
+    create_router,
+    display_names,
+    register_router,
+    router_entry,
+)
+from .middleware import ObservedRouter, RouterMiddleware, ValidatingRouter
+from .build import CACHE_MODES, EngineSpec, build_engine
+from . import adapters as _adapters  # noqa: F401  (populates the registry)
+from .adapters import FunctionRouter, single_tree_router
+
+__all__ = [
+    "CACHE_MODES",
+    "EngineSpec",
+    "FunctionRouter",
+    "ObservedRouter",
+    "Router",
+    "RouterCapabilities",
+    "RouterEntry",
+    "RouterMiddleware",
+    "ValidatingRouter",
+    "available_routers",
+    "build_engine",
+    "create_router",
+    "display_names",
+    "register_router",
+    "router_entry",
+    "single_tree_router",
+]

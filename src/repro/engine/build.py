@@ -1,0 +1,92 @@
+"""Engine assembly: one spec, one composed middleware stack.
+
+:func:`build_engine` turns an :class:`EngineSpec` (or just a router name)
+into a ready-to-use :class:`~repro.engine.protocol.Router`:
+
+.. code-block:: text
+
+    ValidatingRouter            # typed errors at the boundary
+      -> CachedRouter           # optional; translation / symmetry keys
+        -> ObservedRouter       # spans + net_routed events per real route
+          -> <registered router>
+
+The cache sits *outside* observability on purpose: a cache hit is served
+without running the router, so it must not emit a ``net_routed`` event —
+exactly the accounting the batch benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from .middleware import ObservedRouter, ValidatingRouter
+from .protocol import Router
+from .registry import create_router
+
+#: Cache canonicalization modes accepted by :class:`EngineSpec.cache`.
+CACHE_MODES = (None, "translation", "symmetry")
+
+
+@dataclass
+class EngineSpec:
+    """Declarative description of one engine stack.
+
+    Attributes
+    ----------
+    router:
+        Registry name of the innermost router (``"patlabor"``,
+        ``"salt"``, ...).
+    router_options:
+        Keyword arguments for the router's registered factory.
+    cache:
+        ``None`` (no cache), ``"translation"`` (source-relative keys, the
+        historical behaviour), or ``"symmetry"`` (translation plus the
+        eight dihedral symmetries, serving mirrored nets from one entry).
+    cache_entries:
+        LRU capacity of the cache layer.
+    validate:
+        Install :class:`~repro.engine.middleware.ValidatingRouter`.
+    observe:
+        Install :class:`~repro.engine.middleware.ObservedRouter` (no-op
+        unless :mod:`repro.obs` layers are enabled).
+    """
+
+    router: str = "patlabor"
+    router_options: Dict[str, Any] = field(default_factory=dict)
+    cache: Optional[str] = None
+    cache_entries: int = 100_000
+    validate: bool = True
+    observe: bool = True
+
+
+def build_engine(spec: Union[EngineSpec, str, None] = None) -> Router:
+    """Assemble the middleware stack described by ``spec``.
+
+    ``spec`` may be a full :class:`EngineSpec`, a bare router name
+    (defaults for everything else), or ``None`` (a plain PatLabor
+    engine). Raises ``KeyError`` for unregistered router names and
+    ``ValueError`` for unknown cache modes.
+    """
+    if spec is None:
+        spec = EngineSpec()
+    elif isinstance(spec, str):
+        spec = EngineSpec(router=spec)
+    if spec.cache not in CACHE_MODES:
+        raise ValueError(
+            f"unknown cache mode {spec.cache!r}; expected one of {CACHE_MODES}"
+        )
+    engine: Router = create_router(spec.router, **spec.router_options)
+    if spec.observe:
+        engine = ObservedRouter(engine)
+    if spec.cache is not None:
+        from ..core.cache import CachedRouter
+
+        engine = CachedRouter(
+            engine,
+            max_entries=spec.cache_entries,
+            canonicalize=spec.cache,
+        )
+    if spec.validate:
+        engine = ValidatingRouter(engine)
+    return engine

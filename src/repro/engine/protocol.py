@@ -1,0 +1,74 @@
+"""The ``Router`` protocol: the one interface every tree constructor serves.
+
+Every algorithm in this library — PatLabor, the exact DPs, and all the
+baselines — is exposed to callers as a :class:`Router`: an object with a
+``name``, a :class:`RouterCapabilities` descriptor, and a single method
+``route(net) -> [(w, d, tree), ...]``. Callers (``eval.runner``,
+``core.batch``, the CLI, the design flow) never import algorithm modules
+directly; they resolve routers by name from :mod:`repro.engine.registry`
+and compose middleware around this protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, runtime_checkable
+
+from ..core.pareto import Solution
+from ..geometry.net import Net
+
+
+@dataclass(frozen=True)
+class RouterCapabilities:
+    """What a router promises about its output.
+
+    Attributes
+    ----------
+    exact_up_to:
+        The frontier is provably the full Pareto set for nets of degree
+        at most this; ``None`` for purely heuristic methods.
+    max_degree:
+        Hard input limit — the validation middleware rejects larger nets
+        at the engine boundary with
+        :class:`~repro.exceptions.DegreeTooLargeError` instead of letting
+        them fail deep inside a DP. ``None`` means unbounded.
+    pareto:
+        True when ``route`` returns a frontier (possibly approximate);
+        False for single-tree constructors wrapped as singleton fronts.
+    deterministic:
+        True when repeated calls on the same net return identical
+        results — the property the canonicalizing cache relies on.
+    """
+
+    exact_up_to: Optional[int] = None
+    max_degree: Optional[int] = None
+    pareto: bool = True
+    deterministic: bool = True
+
+
+@runtime_checkable
+class Router(Protocol):
+    """A per-net tree-construction service.
+
+    ``route`` maps a :class:`~repro.geometry.net.Net` to Pareto solutions
+    ``(wirelength, delay, tree)``. Implementations must be safe to call
+    millions of times; anything cross-cutting (caching, validation,
+    observability) belongs in middleware, not in the router.
+
+    ``name`` and ``capabilities`` are declared as read-only properties so
+    both plain attributes and properties satisfy the protocol.
+    """
+
+    @property
+    def name(self) -> str:
+        """Registry name of this router."""
+        ...
+
+    @property
+    def capabilities(self) -> RouterCapabilities:
+        """What this router promises about its output."""
+        ...
+
+    def route(self, net: Net) -> List[Solution]:
+        """The (possibly approximate) Pareto set of ``net``."""
+        ...

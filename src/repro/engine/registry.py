@@ -1,0 +1,91 @@
+"""Name-based router registry: one resolution point for the whole stack.
+
+``eval.runner``, ``core.batch``, the CLI, and the design flow all used to
+hand-maintain their own method dicts; this module replaces those with a
+single registry. Algorithm adapters register a factory under a canonical
+name with :func:`register_router`; callers resolve instances with
+:func:`create_router`. Lookup is forgiving about case and separators, so
+``"PatLabor"``, ``"patlabor"``, and ``"Pareto-KS"`` all resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from .protocol import Router
+
+RouterFactory = Callable[..., Router]
+
+
+@dataclass(frozen=True)
+class RouterEntry:
+    """One registered router: its factory plus display metadata."""
+
+    name: str
+    display_name: str
+    summary: str
+    factory: RouterFactory = field(repr=False)
+
+
+_ENTRIES: Dict[str, RouterEntry] = {}
+
+
+def _normalize(name: str) -> str:
+    """Case/separator-insensitive lookup key (``Pareto-KS`` == ``paretoks``)."""
+    return name.lower().replace("-", "").replace("_", "").replace(" ", "")
+
+
+def register_router(
+    name: str, *, display_name: str = "", summary: str = ""
+) -> Callable[[RouterFactory], RouterFactory]:
+    """Class/function decorator registering a router factory under ``name``.
+
+    ``display_name`` is the label evaluation tables use (defaults to
+    ``name``); ``summary`` is the one-liner shown by ``patlabor routers``.
+    Registering a name twice is a programming error and raises
+    ``ValueError`` — shadowing a router silently would make resolution
+    order-dependent.
+    """
+
+    def deco(factory: RouterFactory) -> RouterFactory:
+        key = _normalize(name)
+        if key in _ENTRIES:
+            raise ValueError(f"router {name!r} is already registered")
+        _ENTRIES[key] = RouterEntry(
+            name=name,
+            display_name=display_name or name,
+            summary=summary,
+            factory=factory,
+        )
+        return factory
+
+    return deco
+
+
+def router_entry(name: str) -> RouterEntry:
+    """The :class:`RouterEntry` for ``name`` (raises ``KeyError`` if absent)."""
+    key = _normalize(name)
+    if key not in _ENTRIES:
+        known = ", ".join(sorted(e.name for e in _ENTRIES.values()))
+        raise KeyError(f"unknown router {name!r}; registered: {known}")
+    return _ENTRIES[key]
+
+
+def create_router(name: str, **options: object) -> Router:
+    """Instantiate the router registered under ``name``.
+
+    Keyword options are passed through to the factory (each factory
+    documents its own tunables; unknown options raise ``TypeError``).
+    """
+    return router_entry(name).factory(**options)
+
+
+def available_routers() -> Tuple[str, ...]:
+    """Canonical names of every registered router, sorted."""
+    return tuple(sorted(e.name for e in _ENTRIES.values()))
+
+
+def display_names() -> List[str]:
+    """Display names (table labels) of every registered router, sorted."""
+    return sorted(e.display_name for e in _ENTRIES.values())

@@ -24,8 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..baselines.rsma import rsma
-from ..baselines.rsmt import rsmt
 from ..congestion.model import CongestionMap
 from ..core.pareto import Solution
 from ..core.patlabor import PatLabor
@@ -154,17 +152,20 @@ def route_design(
     )
 
 
+#: Candidate-set strategies, mapped to :mod:`repro.engine` registry names
+#: ("pareto" uses the caller's PatLabor instance instead).
+_STRATEGY_ROUTERS = {"rsmt": "rsmt", "shortest": "rsma"}
+
+
 def _candidates(
     net: Net, strategy: str, router: PatLabor
 ) -> List[Solution]:
     if strategy == "pareto":
         return router.route(net)
-    if strategy == "rsmt":
-        tree = rsmt(net)
-        w, d = tree.objective()
-        return [(w, d, tree)]
-    if strategy == "shortest":
-        tree = rsma(net)
-        w, d = tree.objective()
-        return [(w, d, tree)]
-    raise ValueError(f"unknown strategy {strategy!r}")
+    try:
+        name = _STRATEGY_ROUTERS[strategy]
+    except KeyError:
+        raise ValueError(f"unknown strategy {strategy!r}") from None
+    from ..engine import create_router
+
+    return create_router(name).route(net)

@@ -13,15 +13,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..baselines.prim_dijkstra import pd_sweep
 from ..baselines.rsma import rsma
 from ..baselines.rsmt import rsmt
-from ..baselines.salt import salt_sweep
-from ..baselines.ysd import ysd
 from ..core.pareto import Solution
 from ..core.pareto_dw import pareto_dw
-from ..core.pareto_ks import pareto_ks
 from ..core.patlabor import PatLabor
+from ..engine import create_router, router_entry
 from ..geometry.net import Net
 from ..obs import (
     emit_event,
@@ -40,17 +37,24 @@ def default_methods(
     patlabor: Optional[PatLabor] = None,
     include: Sequence[str] = ("PatLabor", "SALT", "YSD"),
 ) -> Dict[str, MethodFn]:
-    """The paper's method lineup (Fig. 7 compares these three; PD and
-    Pareto-KS are available for the extended comparisons)."""
-    router = patlabor or PatLabor()
-    all_methods: Dict[str, MethodFn] = {
-        "PatLabor": router.route,
-        "SALT": salt_sweep,
-        "YSD": ysd,
-        "PD": pd_sweep,
-        "ParetoKS": pareto_ks,
-    }
-    return {k: all_methods[k] for k in include}
+    """The paper's method lineup (Fig. 7 compares the default three; PD
+    and Pareto-KS are available for the extended comparisons).
+
+    Every name in ``include`` is resolved through the
+    :mod:`repro.engine` registry (case/separator-insensitively), so any
+    registered router — not just the paper's lineup — can join a
+    comparison. The returned dict is keyed by each router's canonical
+    display name. A pre-configured ``patlabor`` instance, when given,
+    replaces the registry-built one.
+    """
+    methods: Dict[str, MethodFn] = {}
+    for name in include:
+        entry = router_entry(name)
+        if entry.name == "patlabor" and patlabor is not None:
+            methods[entry.display_name] = patlabor.route
+        else:
+            methods[entry.display_name] = create_router(name).route
+    return methods
 
 
 def compare_on_net(

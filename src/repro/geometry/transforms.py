@@ -55,6 +55,33 @@ class GridTransform:
             j = ny - 1 - j
         return (i, j)
 
+    def apply_point(self, x: float, y: float) -> Tuple[float, float]:
+        """Act on a continuous point about the origin.
+
+        The same group element as the grid action, but for raw
+        coordinates: optionally transpose the axes, then negate x, then
+        negate y. Swap and negation are exact float operations, so exact
+        mirror images map onto each other bit-for-bit — the property the
+        symmetry-canonicalizing cache relies on.
+        """
+        if self.swap:
+            x, y = y, x
+        if self.flip_x:
+            x = -x
+        if self.flip_y:
+            y = -y
+        return x, y
+
+    def point_inverse(self) -> "GridTransform":
+        """The group element undoing :meth:`apply_point`.
+
+        Without a transpose the element is an involution; with one, the
+        two flips trade places (undoing the flips first, then the swap).
+        """
+        if not self.swap:
+            return self
+        return GridTransform(swap=True, flip_x=self.flip_y, flip_y=self.flip_x)
+
     def apply_gaps(
         self, x_gaps: Sequence[float], y_gaps: Sequence[float]
     ) -> Tuple[List[float], List[float]]:

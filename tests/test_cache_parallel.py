@@ -132,3 +132,58 @@ class TestParallelGeneration:
     def test_jobs_one_falls_back_to_serial(self):
         out = generate_degree_parallel(4, limit=3, jobs=1)
         assert len(out) == 3
+
+
+class TestLruEviction:
+    def test_hits_refresh_recency(self):
+        # Access pattern a,b, a, c with capacity 2: the LRU entry is b,
+        # so a must survive eviction (FIFO-of-insertion would drop a).
+        router = CachedRouter(PatLabor(), max_entries=2)
+        rng = random.Random(31)
+        a, b, c = (random_net(4, rng=rng) for _ in range(3))
+        router.route(a)
+        router.route(b)
+        router.route(a)  # refresh a
+        router.route(c)  # evicts b, not a
+        assert router.evictions == 1
+        router.route(a)
+        assert router.hits == 2 and router.misses == 3
+        router.route(b)  # b was evicted: a miss again
+        assert router.misses == 4
+
+    def test_capacity_is_fully_used_and_evictions_counted(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            router = CachedRouter(PatLabor(), max_entries=2)
+            rng = random.Random(32)
+            nets = [random_net(4, rng=rng) for _ in range(2)]
+            for n in nets:
+                router.route(n)
+            # At capacity with no overflow: nothing evicted, both resident.
+            assert router.evictions == 0
+            for n in nets:
+                router.route(n)
+            assert router.hits == 2
+            router.route(random_net(4, rng=rng))
+            assert router.evictions == 1
+            snap = obs.snapshot()
+            assert snap["counters"]["cache.evictions"] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_clear_resets_eviction_count(self):
+        router = CachedRouter(PatLabor(), max_entries=1)
+        rng = random.Random(33)
+        router.route(random_net(4, rng=rng))
+        router.route(random_net(4, rng=rng))
+        assert router.evictions == 1
+        router.clear()
+        assert router.evictions == 0
+
+    def test_unknown_canonicalize_mode_rejected(self):
+        with pytest.raises(ValueError, match="canonicalize"):
+            CachedRouter(PatLabor(), canonicalize="rotation-only")

@@ -119,3 +119,29 @@ class TestPatterns:
         for t in ALL_TRANSFORMS:
             tp, ts = transform_pattern(perm, src, t)
             assert canonical_pattern(tp, ts)[:2] == cano
+
+
+class TestPointAction:
+    def test_point_inverse_round_trips_all_eight(self):
+        from repro.geometry.transforms import ALL_TRANSFORMS
+
+        for t in ALL_TRANSFORMS:
+            inv = t.point_inverse()
+            for x, y in ((3.5, -2.0), (0.0, 7.25), (-1.5, -4.0)):
+                assert inv.apply_point(*t.apply_point(x, y)) == (x, y)
+                assert t.apply_point(*inv.apply_point(x, y)) == (x, y)
+
+    def test_apply_point_preserves_l1_norm(self):
+        from repro.geometry.transforms import ALL_TRANSFORMS
+
+        for t in ALL_TRANSFORMS:
+            for x, y in ((3.0, 4.0), (-2.5, 1.0)):
+                u, v = t.apply_point(x, y)
+                assert abs(u) + abs(v) == abs(x) + abs(y)
+
+    def test_apply_point_matches_group_structure(self):
+        from repro.geometry.transforms import GridTransform
+
+        t = GridTransform(swap=True, flip_x=True, flip_y=False)
+        # swap first, then negate x: (2, 5) -> (5, 2) -> (-5, 2)
+        assert t.apply_point(2.0, 5.0) == (-5.0, 2.0)

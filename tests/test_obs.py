@@ -251,13 +251,25 @@ class TestTransparency:
         assert "patlabor.route" in snap["spans"]
 
     def test_results_bit_identical_with_event_log_and_trace(self):
-        """Event logging and trace capture observe, never steer."""
+        """Event logging and trace capture observe, never steer.
+
+        ``net_routed`` events are emitted by the engine's observability
+        middleware, so the instrumented run routes through build_engine.
+        """
+        from repro.engine import EngineSpec, build_engine
+
         net = random_net(15, rng=random.Random(7), name="deg15")
         baseline = PatLabor(config=PatLaborConfig(seed=0)).route(net)
         obs.enable()
         obs.events_enable()
         obs.trace_enable()
-        logged = PatLabor(config=PatLaborConfig(seed=0)).route(net)
+        engine = build_engine(
+            EngineSpec(
+                router="patlabor",
+                router_options={"config": PatLaborConfig(seed=0)},
+            )
+        )
+        logged = engine.route(net)
         obs.disable()
         obs.events_disable()
         obs.trace_disable()

@@ -76,8 +76,12 @@ class TestEventLog:
 
 class TestPipelineEvents:
     def test_net_routed_carries_dispatch_tier(self):
+        # net_routed is emitted by the engine's observability middleware,
+        # which reads the tier off the wrapped router's dispatch_tier().
+        from repro.engine import build_engine
+
         obs.events_enable()
-        router = PatLabor()
+        router = build_engine("patlabor")
         rng = random.Random(3)
         by_degree = {
             3: "closed_form",  # closed-form tier
