@@ -41,6 +41,8 @@ LEDGER_COUNTERS = (
     "dw.subsets",
     "dw.merge_transitions",
     "dw.closure_extensions",
+    "dw.merge_candidates",
+    "dw.closure_allocations",
     "patlabor.dispatch.lut",
     "patlabor.dispatch.dw",
     "patlabor.dispatch.closed_form",

@@ -1,0 +1,215 @@
+"""Old-vs-new benchmark of the sorted-front Pareto kernels.
+
+Not a paper artefact: this measures the engineering win of
+:mod:`repro.core.frontier` over the enumerate-and-sort reference path.
+Every net of an ICCAD-15-like degree sweep is solved twice by
+:func:`repro.core.pareto_dw.pareto_dw` — once with ``kernels=False``
+(the reference) and once with ``kernels=True`` — asserting bit-identical
+``(w, d)`` frontiers and comparing
+
+* wall time per degree,
+* ``merge_candidates`` — merge-product solution tuples materialized
+  (reference: ``a * b`` per transition; kernels: at most ``a + b - 1``),
+* ``closure_allocations`` — closure-bucket tuples materialized
+  (reference: every shifted candidate; kernels: dominance survivors).
+
+The combined allocation reduction on the highest degree is the headline
+number: the acceptance bar is >= 3x, asserted here so the benchmark
+itself fails when the kernels stop paying for themselves.
+
+Outputs:
+
+* ``results/pareto_kernels.txt`` — the per-degree comparison table,
+* ``results/BENCH_pareto_kernels.json`` — raw per-degree numbers,
+* ``results/ledger.jsonl`` — one appended ``pareto_kernels`` run record
+  (ratios use the ``_rate`` suffix so the perf gate reads them as
+  higher-is-better; see ``repro.obs.ledger.metric_direction``).
+
+Run directly (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_pareto_kernels.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro import obs
+from repro.core.pareto_dw import DWStats, pareto_dw
+from repro.eval.benchmarks import Iccad15LikeSuite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Nets per degree. The highest degree is the headline workload; the
+#: quick profile is what the CI perf-gate job runs.
+FULL_PER_DEGREE = {4: 12, 5: 12, 6: 10, 7: 8, 8: 6, 9: 6}
+QUICK_PER_DEGREE = {6: 3, 9: 3}
+
+#: Acceptance bar (ISSUE: ">= 3x fewer allocated candidate tuples in the
+#: DW merge+closure path on the degree-9 workload").
+MIN_HEADLINE_REDUCTION = 3.0
+
+
+def _allocated(stats: DWStats) -> int:
+    """Candidate solution tuples materialized by merge + closure."""
+    return stats.merge_candidates + stats.closure_allocations
+
+
+def _run_path(nets, kernels: bool) -> Tuple[float, DWStats, List[List[Tuple[float, float]]]]:
+    """Solve every net on one path; returns (seconds, stats, frontiers)."""
+    stats = DWStats()
+    fronts: List[List[Tuple[float, float]]] = []
+    t0 = time.perf_counter()
+    for net in nets:
+        front = pareto_dw(net, with_trees=False, stats=stats, kernels=kernels)
+        fronts.append([(w, d) for w, d, _ in front])
+    return time.perf_counter() - t0, stats, fronts
+
+
+def bench(per_degree: Dict[int, int], seed: int = 2015) -> Dict[str, object]:
+    """The degree sweep; returns the per-degree and headline numbers."""
+    suite = Iccad15LikeSuite(seed=seed)
+    rows: List[Dict[str, float]] = []
+    for degree in sorted(per_degree):
+        nets = suite.small_nets(
+            degrees=(degree,), per_degree=per_degree[degree]
+        )[degree]
+        ref_s, ref_stats, ref_fronts = _run_path(nets, kernels=False)
+        ker_s, ker_stats, ker_fronts = _run_path(nets, kernels=True)
+        assert ker_fronts == ref_fronts, (
+            f"kernel/reference frontier mismatch at degree {degree}"
+        )
+        assert ker_stats.closure_extensions == ref_stats.closure_extensions
+        assert ker_stats.merge_transitions == ref_stats.merge_transitions
+        rows.append(
+            {
+                "degree": degree,
+                "nets": len(nets),
+                "ref_seconds": ref_s,
+                "kernel_seconds": ker_s,
+                "ref_merge_candidates": ref_stats.merge_candidates,
+                "kernel_merge_candidates": ker_stats.merge_candidates,
+                "ref_closure_allocations": ref_stats.closure_allocations,
+                "kernel_closure_allocations": ker_stats.closure_allocations,
+                "ref_allocated": _allocated(ref_stats),
+                "kernel_allocated": _allocated(ker_stats),
+            }
+        )
+    head = rows[-1]  # highest degree = headline workload
+    return {
+        "rows": rows,
+        "headline_degree": head["degree"],
+        "alloc_reduction": head["ref_allocated"] / head["kernel_allocated"],
+        "merge_reduction": (
+            head["ref_merge_candidates"] / head["kernel_merge_candidates"]
+        ),
+        "closure_reduction": (
+            head["ref_closure_allocations"]
+            / head["kernel_closure_allocations"]
+        ),
+        "speedup": head["ref_seconds"] / head["kernel_seconds"],
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    lines = [
+        "Sorted-front kernels vs enumerate-and-sort reference (pareto_dw)",
+        "",
+        f"{'deg':>4} {'nets':>5} {'ref_s':>8} {'kern_s':>8} "
+        f"{'ref_alloc':>12} {'kern_alloc':>12} {'reduction':>10} {'speedup':>8}",
+    ]
+    for r in result["rows"]:
+        lines.append(
+            f"{r['degree']:>4} {r['nets']:>5} {r['ref_seconds']:>8.3f} "
+            f"{r['kernel_seconds']:>8.3f} {r['ref_allocated']:>12} "
+            f"{r['kernel_allocated']:>12} "
+            f"{r['ref_allocated'] / r['kernel_allocated']:>9.2f}x "
+            f"{r['ref_seconds'] / r['kernel_seconds']:>7.2f}x"
+        )
+    lines += [
+        "",
+        f"headline (degree {result['headline_degree']}): "
+        f"{result['alloc_reduction']:.2f}x fewer candidate tuples "
+        f"(merge {result['merge_reduction']:.2f}x, "
+        f"closure {result['closure_reduction']:.2f}x), "
+        f"{result['speedup']:.2f}x wall-time speedup",
+        f"acceptance bar: >= {MIN_HEADLINE_REDUCTION:.1f}x allocation "
+        f"reduction on the headline degree",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI profile: degrees 6 and 9 only, 3 nets each",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="artifact/ledger directory (default: benchmarks/results)",
+    )
+    args = parser.parse_args(argv)
+
+    per_degree = QUICK_PER_DEGREE if args.quick else FULL_PER_DEGREE
+    result = bench(per_degree)
+
+    report = render(result)
+    args.results_dir.mkdir(exist_ok=True)
+    txt_path = args.results_dir / "pareto_kernels.txt"
+    txt_path.write_text(report + "\n", encoding="utf-8")
+    print(report)
+    print(f"\n[artifact written to {txt_path}]")
+
+    json_path = args.results_dir / "BENCH_pareto_kernels.json"
+    json_path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"[raw numbers written to {json_path}]")
+
+    head = result["rows"][-1]
+    metrics = {
+        # Deterministic for a fixed workload: what the perf gate watches.
+        "kernels.alloc_reduction_rate": result["alloc_reduction"],
+        "kernels.merge_reduction_rate": result["merge_reduction"],
+        "kernels.closure_reduction_rate": result["closure_reduction"],
+        "kernels.headline_allocated": float(head["kernel_allocated"]),
+        # Timing (noisy on shared runners; informational + threshold-gated).
+        "kernels.speedup_rate": result["speedup"],
+        "kernels.headline_kernel_seconds": head["kernel_seconds"],
+        "kernels.headline_ref_seconds": head["ref_seconds"],
+    }
+    record = obs.make_record(
+        metrics,
+        name="pareto_kernels",
+        config={
+            "quick": args.quick,
+            "per_degree": {str(k): v for k, v in sorted(per_degree.items())},
+            "headline_degree": result["headline_degree"],
+            "seed": 2015,
+        },
+    )
+    ledger_path = obs.append_record(
+        record, args.results_dir / "ledger.jsonl"
+    )
+    print(f"[run {record['run_id']} appended to {ledger_path}]")
+
+    if result["alloc_reduction"] < MIN_HEADLINE_REDUCTION:
+        print(
+            f"FAIL: allocation reduction {result['alloc_reduction']:.2f}x "
+            f"below the {MIN_HEADLINE_REDUCTION:.1f}x bar"
+        )
+        return 1
+    print("OK: allocation reduction meets the bar")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

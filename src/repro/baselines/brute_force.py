@@ -21,7 +21,7 @@ from ..exceptions import DegreeTooLargeError
 from ..geometry.hanan import HananGrid
 from ..geometry.net import Net
 from ..geometry.point import Point, l1
-from ..core.pareto import pareto_filter
+from ..core.frontier import merge_sorted_fronts, pareto_filter_sorted
 
 MAX_ORACLE_DEGREE = 4
 
@@ -73,8 +73,9 @@ def brute_force_frontier(net: Net) -> List[Tuple[float, float]]:
         if (grid.point(node).x, grid.point(node).y) not in pin_set
     ]
     max_extra = max(0, n - 2)
-    solutions: List[Tuple[float, float, None]] = []
+    front: List[Tuple[float, float, None]] = []
     for extra_count in range(max_extra + 1):
+        batch: List[Tuple[float, float, None]] = []
         for extras in combinations(candidates, extra_count):
             nodes: List[Point] = pins + list(extras)
             k = len(nodes)
@@ -98,6 +99,9 @@ def brute_force_frontier(net: Net) -> List[Tuple[float, float]]:
                             dist[v2] = dist[u] + dmat[u][v2]
                             stack.append(v2)
                 d = max(dist[1:n])
-                solutions.append((w, d, None))
-        solutions = pareto_filter(solutions)
-    return [(w, d) for w, d, _ in pareto_filter(solutions)]
+                batch.append((w, d, None))
+        # The running front stays sorted; each Steiner-count batch is
+        # filtered once and unioned linearly instead of re-sorting the
+        # whole accumulation.
+        front = merge_sorted_fronts(front, pareto_filter_sorted(batch))
+    return [(w, d) for w, d, _ in front]

@@ -12,11 +12,21 @@ Solutions are ``(w, d, payload)`` triples; payloads carry trees or DP
 backpointers and never influence dominance. Quality metrics used by the
 evaluation harness (hypervolume, multiplicative epsilon indicator,
 frontier coverage) live here too.
+
+The functions here are the *generic* operators: they accept arbitrary
+solution sets and re-derive sortedness when needed. The hot DP loops use
+the sorted-front kernels of :mod:`repro.core.frontier` instead, which
+keep sortedness as an invariant (see ``docs/performance.md``); the
+operators here route through :func:`~repro.core.frontier.pareto_filter_sorted`
+where that fast path applies without changing results.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .frontier import pareto_filter_sorted
 
 Objective = Tuple[float, float]
 Solution = Tuple[float, float, Any]
@@ -69,7 +79,7 @@ def clean_front(
     objective magnitude. Use only on end results — inside the DP the exact
     filter is the correct one.
     """
-    front = pareto_filter(solutions)
+    front = pareto_filter_sorted(solutions)
     if len(front) <= 1:
         return front
     scale = max(max(abs(s[0]), abs(s[1])) for s in front)
@@ -119,11 +129,17 @@ def cross(
 
 
 def merge_fronts(*fronts: Sequence[Solution]) -> List[Solution]:
-    """Pareto-filtered union of several solution sets."""
+    """Pareto-filtered union of several solution sets.
+
+    Inputs need not be sorted; when their concatenation happens to be
+    (e.g. a single maintained-sorted front), the sort is skipped. Callers
+    that *guarantee* sorted inputs should use
+    :func:`repro.core.frontier.merge_sorted_fronts` directly.
+    """
     combined: List[Solution] = []
     for f in fronts:
         combined.extend(f)
-    return pareto_filter(combined)
+    return pareto_filter_sorted(combined)
 
 
 def objectives(solutions: Iterable[Solution]) -> List[Objective]:
@@ -132,12 +148,23 @@ def objectives(solutions: Iterable[Solution]) -> List[Objective]:
 
 
 def is_pareto_front(solutions: Sequence[Solution]) -> bool:
-    """True when no member dominates another (a valid Pareto *curve*)."""
-    objs = objectives(solutions)
-    for i, a in enumerate(objs):
-        for j, b in enumerate(objs):
-            if i != j and weakly_dominates(a, b):
-                return False
+    """True when no member dominates another (a valid Pareto *curve*).
+
+    Sort + single sweep, ``O(k log k)``: after sorting the objective
+    pairs lexicographically, the set is mutually non-dominated exactly
+    when ``w`` strictly ascends and ``d`` strictly descends between
+    neighbours. (Equality in either coordinate — including duplicate
+    points — is weak dominance between the sorted neighbours; and any
+    dominating pair ``a <= b`` elsewhere in the set forces some adjacent
+    pair to violate the strict ordering, since ``d`` would fail to
+    descend somewhere between ``a``'s and ``b``'s sorted positions.)
+    """
+    objs = sorted(objectives(solutions))
+    prev_w, prev_d = float("-inf"), float("inf")
+    for w, d in objs:
+        if w == prev_w or d >= prev_d:
+            return False
+        prev_w, prev_d = w, d
     return True
 
 
@@ -180,20 +207,55 @@ def epsilon_indicator(
     with ``s' <= c * s``; returns the max over reference points of the min
     over candidates of the required factor. Zero-valued reference
     objectives are handled by treating 0/0 as factor 1 and x/0 as +inf.
+
+    The inner minimisation runs over the candidate *front* only (the
+    factor is monotone in both objectives, so a dominated candidate never
+    wins) and, for positive reference points, by binary search: along the
+    front sorted by ascending ``w``, the wirelength factor ascends while
+    the delay factor descends, so their max is V-shaped and minimised
+    where they cross. ``O((k + r) log k)`` overall instead of ``O(k · r)``.
     """
     if not reference:
         return 1.0
     if not candidate:
         return float("inf")
-    cand = objectives(candidate)
+    cand = objectives(pareto_filter(list(candidate)))
+    k = len(cand)
     worst = 1.0
     for rw, rd in objectives(reference):
-        best = float("inf")
-        for cw, cd in cand:
-            fw = 1.0 if cw <= rw == 0 else (cw / rw if rw > 0 else float("inf"))
-            fd = 1.0 if cd <= rd == 0 else (cd / rd if rd > 0 else float("inf"))
-            factor = max(fw, fd, 1.0)
-            best = min(best, factor)
+        if rw <= 0 or rd <= 0:
+            # Degenerate reference objectives: keep the exact linear-scan
+            # semantics for the 0/0 -> 1 and x/0 -> inf conventions.
+            best = float("inf")
+            for cw, cd in cand:
+                fw = (
+                    1.0
+                    if cw <= rw == 0
+                    else (cw / rw if rw > 0 else float("inf"))
+                )
+                fd = (
+                    1.0
+                    if cd <= rd == 0
+                    else (cd / rd if rd > 0 else float("inf"))
+                )
+                best = min(best, max(fw, fd, 1.0))
+        else:
+            # g(i) = cw_i/rw - cd_i/rd strictly ascends along the front;
+            # the V-shaped max is minimised at the sign crossing. Find the
+            # first index with g >= 0 and evaluate its two neighbours.
+            lo, hi = 0, k
+            while lo < hi:
+                mid = (lo + hi) // 2
+                cw, cd = cand[mid]
+                if cw / rw >= cd / rd:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            best = float("inf")
+            for idx in (lo - 1, lo):
+                if 0 <= idx < k:
+                    cw, cd = cand[idx]
+                    best = min(best, max(cw / rw, cd / rd, 1.0))
         worst = max(worst, best)
     return worst
 
@@ -208,12 +270,20 @@ def count_on_frontier(
     A frontier point counts as found when some candidate matches it within
     ``tol`` in both objectives (candidates cannot strictly beat a true
     frontier point, so matching is the only way to attain it).
+
+    Candidates are sorted once and each frontier point only scans the
+    ``bisect``-located window of candidates with ``|cw - fw| <= tol`` —
+    ``O((k + r) log k)`` for the usual case of tolerance-sized windows,
+    with identical tolerance semantics to the full nested scan.
     """
-    cand = objectives(candidate)
+    cand = sorted(objectives(candidate))
     found = 0
+    neg_inf, pos_inf = float("-inf"), float("inf")
     for fw, fd in objectives(frontier):
-        for cw, cd in cand:
-            if abs(cw - fw) <= tol and abs(cd - fd) <= tol:
+        lo = bisect_left(cand, (fw - tol, neg_inf))
+        hi = bisect_right(cand, (fw + tol, pos_inf))
+        for cw, cd in cand[lo:hi]:
+            if abs(cd - fd) <= tol:
                 found += 1
                 break
     return found

@@ -24,12 +24,27 @@ Pruning (paper, Section V-A):
 The frontier returned is exact regardless of which pruning flags are set;
 the flags only change how much work is done (tests cross-check all
 configurations).
+
+The hot loops run on the sorted-front kernels of
+:mod:`repro.core.frontier`: every DP front is maintained sorted
+(``w`` ascending, ``d`` strictly descending), merge transitions use the
+O(a+b) two-pointer product of
+:func:`~repro.core.frontier.cross_sorted` — fused with the split union
+via :func:`~repro.core.frontier.cross_merge_sorted` so dominated product
+points are never allocated — closure buckets are per-source shifted runs
+merged lazily by :func:`~repro.core.frontier.merge_shifted`, and node
+distances come from
+one precomputed :meth:`~repro.geometry.hanan.HananGrid.distance_matrix`
+per grid. ``kernels=False`` selects the original enumerate-and-sort
+reference implementation — same frontiers, more work — kept for the
+equivalence tests and the old-vs-new kernel benchmark
+(``benchmarks/bench_pareto_kernels.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import DegreeTooLargeError
 from ..geometry.hanan import GridNode, HananGrid
@@ -43,7 +58,8 @@ from ..obs import (
     span,
 )
 from ..routing.tree import RoutingTree
-from .pareto import Solution, clean_front, cross, pareto_filter
+from .frontier import ShiftedRun, cross_merge_sorted, cross_sorted, merge_shifted
+from .pareto import Solution, clean_front, pareto_filter
 
 #: Hard ceiling on exact enumeration; above this the caller should be using
 #: PatLabor's local search. Overridable via ``max_degree=``.
@@ -52,7 +68,18 @@ DEFAULT_MAX_DEGREE = 12
 
 @dataclass
 class DWStats:
-    """Work counters for ablation benchmarks (Lemmas 2–4 on/off)."""
+    """Work counters for ablation and kernel benchmarks (Lemmas 2–4, kernels).
+
+    ``closure_extensions`` counts extension candidates *considered* and is
+    identical between the kernel and reference paths; the two allocation
+    counters measure what each path actually materializes:
+    ``merge_candidates`` is the number of merge-product solution tuples
+    built (reference: ``a · b`` per transition; kernels: at most
+    ``a + b - 1``) and ``closure_allocations`` the number of closure-bucket
+    solutions built (reference: every shifted candidate; kernels: only
+    dominance survivors). Their sum is the "candidate tuples allocated"
+    headline that ``benchmarks/bench_pareto_kernels.py`` tracks.
+    """
 
     grid_nodes: int = 0
     pruned_corner_nodes: int = 0
@@ -60,6 +87,8 @@ class DWStats:
     merge_skipped_lemma3: int = 0
     splits_saved_lemma4: int = 0
     closure_extensions: int = 0
+    merge_candidates: int = 0
+    closure_allocations: int = 0
     max_front_size: int = 0
     subsets: int = 0
 
@@ -134,6 +163,7 @@ def pareto_dw(
     with_trees: bool = True,
     max_degree: int = DEFAULT_MAX_DEGREE,
     stats: Optional[DWStats] = None,
+    kernels: bool = True,
 ) -> List[Solution]:
     """Exact Pareto frontier of timing-driven routing trees for ``net``.
 
@@ -141,6 +171,11 @@ def pareto_dw(
     wirelength; with ``with_trees=True`` each payload is the
     :class:`RoutingTree` attaining (or weakly dominating) the objectives,
     otherwise payloads are opaque backpointers.
+
+    ``kernels=False`` runs the enumerate-and-sort reference
+    implementation instead of the sorted-front kernels — the returned
+    ``(w, d)`` frontier is identical; only the work done differs (see the
+    module docstring). It exists for equivalence tests and benchmarks.
 
     Raises :class:`DegreeTooLargeError` when ``net.degree > max_degree``.
     """
@@ -166,6 +201,7 @@ def pareto_dw(
             lemma4=lemma4,
             with_trees=with_trees,
             stats=stats,
+            kernels=kernels,
         )
     if flush:
         _flush_dw_stats(stats)
@@ -192,8 +228,28 @@ def _flush_dw_stats(stats: DWStats) -> None:
     counter_add("dw.merge_skipped_lemma3", stats.merge_skipped_lemma3)
     counter_add("dw.splits_saved_lemma4", stats.splits_saved_lemma4)
     counter_add("dw.closure_extensions", stats.closure_extensions)
+    counter_add("dw.merge_candidates", stats.merge_candidates)
+    counter_add("dw.closure_allocations", stats.closure_allocations)
     counter_add("dw.pruned_corner_nodes", stats.pruned_corner_nodes)
     gauge_max("dw.max_front_size", stats.max_front_size)
+
+
+def _ext_payload_to(v: GridNode) -> "Callable[[GridNode, Solution], Any]":
+    """Payload builder for closure extension edges into target ``v``.
+
+    One shared rewrap per closure bucket; the source node rides along as
+    the run tag, so no per-``(u, v)`` closure objects are allocated.
+    """
+
+    def rewrap(u: GridNode, s: Solution) -> Any:
+        return ("ext", u, v, s[2])
+
+    return rewrap
+
+
+def _merge_payload(p1: Any, p2: Any) -> Any:
+    """Payload combiner of a DP merge transition."""
+    return ("merge", p1, p2)
 
 
 def _pareto_dw_impl(
@@ -204,6 +260,7 @@ def _pareto_dw_impl(
     lemma4: bool,
     with_trees: bool,
     stats: Optional[DWStats],
+    kernels: bool = True,
 ) -> List[Solution]:
     """The DP body of :func:`pareto_dw` (degree already validated)."""
     grid = HananGrid.of_net(net)
@@ -223,32 +280,117 @@ def _pareto_dw_impl(
         stats.grid_nodes = len(nodes)
         stats.pruned_corner_nodes = len(corner)
 
-    dist = grid.dist
     boundary_rank = _boundary_order(grid, sink_nodes) if lemma4 else None
 
-    # S[mask] : dict node -> Pareto list of (w, d, payload)
+    # S[mask] : dict node -> Pareto list of (w, d, payload), each list a
+    # sorted front (w ascending, d strictly descending) by construction.
     S: List[Optional[Dict[GridNode, List[Solution]]]] = [None] * (full + 1)
 
-    def closure(merged: Dict[GridNode, List[Solution]]) -> Dict[GridNode, List[Solution]]:
-        """One metric-closure round: extend every candidate to every node."""
-        out: Dict[GridNode, List[Solution]] = {}
-        sources = [(u, cands) for u, cands in merged.items() if cands]
-        for v in nodes:
-            bucket: List[Solution] = []
-            for u, cands in sources:
-                duv = dist(u, v)
-                if duv == 0.0 and u == v:
-                    bucket.extend(cands)
+    if kernels:
+        # Sorted-front kernel path: precomputed distance matrix, lazy
+        # shifted merges for closures, two-pointer products for merges.
+        ny = grid.ny
+        dmat = grid.distance_matrix()
+
+        def closure(
+            merged: Dict[GridNode, List[Solution]]
+        ) -> Dict[GridNode, List[Solution]]:
+            """One metric-closure round via the lazy shifted-merge kernel."""
+            out: Dict[GridNode, List[Solution]] = {}
+            sources = [
+                (u, u[0] * ny + u[1], cands)
+                for u, cands in merged.items()
+                if cands
+            ]
+            for v in nodes:
+                row_v = v[0] * ny + v[1]
+                rewrap_v = _ext_payload_to(v)
+                runs: List[ShiftedRun] = []
+                for u, uid, cands in sources:
+                    duv = dmat[uid][row_v]
+                    if duv == 0.0 and u == v:
+                        runs.append((0.0, cands, None))
+                    else:
+                        runs.append((duv, cands, u))
+                        if stats is not None:
+                            stats.closure_extensions += len(cands)
+                front, allocated = merge_shifted(runs, rewrap_v)
+                out[v] = front
+                if stats is not None:
+                    stats.closure_allocations += allocated
+                    if len(front) > stats.max_front_size:
+                        stats.max_front_size = len(front)
+            return out
+
+        def merge_at(v: GridNode, submasks: List[int], mask: int) -> List[Solution]:
+            """Pareto front of all split merges at ``v`` (kernel path)."""
+            front: List[Solution] = []
+            for q1 in submasks:
+                sq1 = S[q1]
+                sq2 = S[mask ^ q1]
+                s1 = sq1[v] if sq1 is not None else None
+                s2 = sq2[v] if sq2 is not None else None
+                if not s1 or not s2:
+                    continue
+                if stats is not None:
+                    stats.merge_transitions += 1
+                if front:
+                    front, allocated = cross_merge_sorted(
+                        front, s1, s2, _merge_payload
+                    )
                 else:
-                    for (w, d, p) in cands:
-                        bucket.append((w + duv, d + duv, ("ext", u, v, p)))
-                    if stats is not None:
-                        stats.closure_extensions += len(cands)
-            front = pareto_filter(bucket)
-            out[v] = front
-            if stats is not None and len(front) > stats.max_front_size:
-                stats.max_front_size = len(front)
-        return out
+                    front = cross_sorted(s1, s2, _merge_payload)
+                    allocated = len(front)
+                if stats is not None:
+                    stats.merge_candidates += allocated
+            return front
+
+    else:
+        dist = grid.dist
+
+        def closure(
+            merged: Dict[GridNode, List[Solution]]
+        ) -> Dict[GridNode, List[Solution]]:
+            """One metric-closure round: extend every candidate to every node."""
+            out: Dict[GridNode, List[Solution]] = {}
+            sources = [(u, cands) for u, cands in merged.items() if cands]
+            for v in nodes:
+                bucket: List[Solution] = []
+                for u, cands in sources:
+                    duv = dist(u, v)
+                    if duv == 0.0 and u == v:
+                        bucket.extend(cands)
+                    else:
+                        for (w, d, p) in cands:
+                            bucket.append((w + duv, d + duv, ("ext", u, v, p)))
+                        if stats is not None:
+                            stats.closure_extensions += len(cands)
+                            stats.closure_allocations += len(cands)
+                front = pareto_filter(bucket)
+                out[v] = front
+                if stats is not None and len(front) > stats.max_front_size:
+                    stats.max_front_size = len(front)
+            return out
+
+        def merge_at(v: GridNode, submasks: List[int], mask: int) -> List[Solution]:
+            """Pareto front of all split merges at ``v`` (reference path)."""
+            bucket: List[Solution] = []
+            for q1 in submasks:
+                sq1 = S[q1]
+                sq2 = S[mask ^ q1]
+                s1 = sq1[v] if sq1 is not None else None
+                s2 = sq2[v] if sq2 is not None else None
+                if not s1 or not s2:
+                    continue
+                if stats is not None:
+                    stats.merge_transitions += 1
+                    stats.merge_candidates += len(s1) * len(s2)
+                for w1, d1, p1 in s1:
+                    for w2, d2, p2 in s2:
+                        bucket.append(
+                            (w1 + w2, max(d1, d2), ("merge", p1, p2))
+                        )
+            return pareto_filter(bucket)
 
     # Singletons.
     with span("dw.closure"):
@@ -305,22 +447,9 @@ def _pareto_dw_impl(
                             if stats is not None:
                                 stats.merge_skipped_lemma3 += 1
                             continue
-                    bucket: List[Solution] = []
-                    for q1 in submasks:
-                        q2 = mask ^ q1
-                        s1 = S[q1][v] if S[q1] is not None else None
-                        s2 = S[q2][v] if S[q2] is not None else None
-                        if not s1 or not s2:
-                            continue
-                        if stats is not None:
-                            stats.merge_transitions += 1
-                        for w1, d1, p1 in s1:
-                            for w2, d2, p2 in s2:
-                                bucket.append(
-                                    (w1 + w2, max(d1, d2), ("merge", p1, p2))
-                                )
-                    if bucket:
-                        merged[v] = pareto_filter(bucket)
+                    front = merge_at(v, submasks, mask)
+                    if front:
+                        merged[v] = front
             with span("dw.closure"):
                 S[mask] = closure(merged)
             if stats is not None:
@@ -351,9 +480,12 @@ def reconstruct_tree(net: Net, grid: HananGrid, payload: Any) -> RoutingTree:
     pt = grid.point
     edges = [(pt(a), pt(b)) for a, b in node_edges]
     # The source may coincide with the subtree root without explicit edges
-    # (e.g. degree-2 nets): make sure it is a node.
+    # (e.g. degree-2 nets): make sure it is a node. Sorted, because set
+    # iteration order varies run to run and the extra points decide the
+    # tree's node indexing — ledger diffs and cached-tree equality tests
+    # need reconstruction to be reproducible.
     referenced = {p for e in edges for p in e}
-    extra = list(referenced)
+    extra = sorted(referenced)
     if not edges:
         # Single sink collapsed onto the source path: direct connection.
         edges = [(net.source, s) for s in net.sinks]

@@ -22,7 +22,8 @@ from ..geometry.net import Net
 from ..geometry.point import Point, l1
 from ..obs import counter_add, emit_event, events_enabled, gauge_max, span
 from ..routing.tree import RoutingTree
-from .pareto import Solution, clean_front, pareto_filter
+from .frontier import pareto_filter_sorted
+from .pareto import Solution, clean_front
 from .pareto_dw import pareto_dw
 
 #: Base-case routing oracle: maps a small net to Pareto solutions whose
@@ -94,7 +95,7 @@ def pareto_ks(
             e1 = _tree_edges(t1)
             for _, _, t2 in s2:
                 combined.append(_evaluate(sub, e1 + _tree_edges(t2)))
-        return pareto_filter(combined)
+        return pareto_filter_sorted(combined)
 
     emitting = events_enabled()
     if emitting:
@@ -130,4 +131,5 @@ def _truncate(front: Sequence[Solution], limit: int) -> List[Solution]:
     # Preserve the extremes exactly.
     picked[0] = front[0]
     picked[-1] = front[-1]
-    return pareto_filter(picked)
+    # A subsequence of a sorted front is sorted: the linear fast path hits.
+    return pareto_filter_sorted(picked)

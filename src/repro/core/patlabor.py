@@ -24,7 +24,8 @@ from ..obs import counter_add, gauge_max, span
 from ..routing.attach import TreeBuilder
 from ..routing.refine import wirelength_refine
 from ..routing.tree import RoutingTree
-from .pareto import Solution, clean_front, pareto_filter
+from .frontier import merge_sorted_fronts, pareto_filter_sorted
+from .pareto import Solution, clean_front
 from .pareto_dw import pareto_dw
 from .policy import SelectionPolicy
 
@@ -177,7 +178,12 @@ class PatLabor:
                     key = _attempt_key(worst, selection)
                 attempted.add(key)
                 with span("patlabor.expand"):
-                    front = pareto_filter(self._expand(net, front, selection))
+                    # The maintained front is always sorted; only the new
+                    # candidates need filtering before the linear union.
+                    additions = self._expand(net, selection)
+                    front = merge_sorted_fronts(
+                        front, pareto_filter_sorted(additions)
+                    )
                 if len(front) > self.config.max_front:
                     # Truncate by wirelength but always keep the min-delay
                     # endpoint — dropping it would unanchor the fast end.
@@ -186,17 +192,21 @@ class PatLabor:
             return clean_front(front)
 
     def _expand(
-        self, net: Net, front: List[Solution], selection: Sequence[int]
+        self, net: Net, selection: Sequence[int]
     ) -> List[Solution]:
         """One local-search step: rebuild the selected pins exactly and
-        reassemble full trees around each sub-frontier topology."""
+        reassemble full trees around each sub-frontier topology.
+
+        Returns only the *new* candidate solutions; callers union them
+        into their maintained front (sorted fronts merge linearly via
+        :func:`~repro.core.frontier.merge_sorted_fronts`)."""
         sub = Net.from_points(
             net.source,
             [net.sinks[i] for i in selection],
             name=f"{net.name}/ls",
         )
         sub_front = self.small_frontier(sub)
-        out = list(front)
+        out: List[Solution] = []
         rest = [
             net.sinks[i]
             for i in range(len(net.sinks))
@@ -392,7 +402,9 @@ def rollout_improvement(
     base: List[Solution] = [(w0, d0, seed_tree)]
     reference = (2.0 * w0, 2.0 * d0)
     before = hypervolume(base, reference)
-    after_front = pareto_filter(router._expand(net, base, selection))
+    after_front = merge_sorted_fronts(
+        base, pareto_filter_sorted(router._expand(net, selection))
+    )
     after = hypervolume(after_front, reference)
     delays = seed_tree.sink_delays()
     feats = []

@@ -28,7 +28,8 @@ from ..geometry.net import Net
 from ..geometry.point import Point, median_point
 from ..geometry.transforms import GridTransform, canonical_pattern
 from ..routing.tree import RoutingTree
-from ..core.pareto import Solution, clean_front, pareto_filter
+from ..core.frontier import pareto_filter_sorted
+from ..core.pareto import Solution, clean_front
 from .cluster import TopologyPool
 from .generator import (
     Pattern,
@@ -209,7 +210,7 @@ class LookupTable:
                 sum(c * g for c, g in zip(r, gaps)) for r in d_rows
             )
             evaluated.append((w, d, topo_id))
-        front = pareto_filter(evaluated)
+        front = pareto_filter_sorted(evaluated)
 
         t_inv = t.inverse(n, n)
         cn, _ = t.out_shape(n, n)  # == n

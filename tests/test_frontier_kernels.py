@@ -1,0 +1,485 @@
+"""Sorted-front kernels agree exactly with the naive Pareto references.
+
+Two layers of evidence:
+
+* property tests (hypothesis) that every kernel of
+  :mod:`repro.core.frontier` returns the same result as the
+  enumerate-and-sort operators of :mod:`repro.core.pareto` on random
+  inputs — including duplicate objectives, singletons, and empty fronts;
+* deterministic floating-point collision cases (IEEE addition is
+  monotone but not strictly monotone, so ``w1 + x == w2 + x`` can hold
+  for ``w1 != w2``) pinned with ``math.nextafter``;
+* a regression matrix that ``pareto_dw(kernels=True)`` returns the same
+  ``(w, d)`` frontier as the ``kernels=False`` reference path on degree
+  2–9 nets across every Lemma flag combination.
+
+Objective values are drawn from a small pool of integers and non-dyadic
+floats so exact ties and rounding collisions occur often instead of
+almost never.
+"""
+
+import math
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import (
+    assert_sorted_front,
+    cross_merge_sorted,
+    cross_sorted,
+    is_sorted_front,
+    merge_shifted,
+    merge_sorted_fronts,
+    pareto_filter_sorted,
+    shift_sorted,
+)
+from repro.core.pareto import (
+    count_on_frontier,
+    cross,
+    epsilon_indicator,
+    is_pareto_front,
+    objectives,
+    pareto_filter,
+    shift,
+    weakly_dominates,
+)
+from repro.core.pareto_dw import pareto_dw
+from repro.geometry.net import random_net
+
+# Small value pool => frequent exact ties; 0.1/0.3 are non-dyadic, so
+# sums exercise rounding.
+coord = st.one_of(
+    st.integers(0, 8).map(float),
+    st.sampled_from([0.1, 0.3, 1.7, 2.5, 3.3, 10.1]),
+)
+
+few = settings(max_examples=200, deadline=None)
+
+
+@st.composite
+def solution_lists(draw, max_size=12):
+    """Arbitrary (unsorted, duplicate-laden) solution lists.
+
+    Payloads are distinct indices so tie-breaking rules are observable.
+    """
+    n = draw(st.integers(0, max_size))
+    return [
+        (draw(coord), draw(coord), idx) for idx in range(n)
+    ]
+
+
+@st.composite
+def fronts(draw, max_size=12):
+    """Sorted fronts, as produced by ``pareto_filter``."""
+    return pareto_filter(draw(solution_lists(max_size=max_size)))
+
+
+# ------------------------------------------------------------ invariants
+
+
+class TestInvariantChecks:
+    def test_empty_and_singleton_are_sorted(self):
+        assert is_sorted_front([])
+        assert is_sorted_front([(1.0, 2.0, None)])
+
+    def test_rejects_non_strict(self):
+        assert not is_sorted_front([(1.0, 2.0, None), (1.0, 1.0, None)])
+        assert not is_sorted_front([(1.0, 2.0, None), (2.0, 2.0, None)])
+        assert not is_sorted_front([(2.0, 1.0, None), (1.0, 2.0, None)])
+
+    def test_assert_sorted_front_passes_through(self):
+        front = [(0.0, 3.0, "a"), (1.0, 1.0, "b")]
+        assert assert_sorted_front(front, "t") is front
+
+    def test_assert_sorted_front_raises_with_label(self):
+        with pytest.raises(AssertionError, match="bad-front"):
+            assert_sorted_front(
+                [(1.0, 1.0, None), (1.0, 0.0, None)], "bad-front"
+            )
+
+    @few
+    @given(solution_lists())
+    def test_pareto_filter_output_is_sorted(self, sols):
+        assert is_sorted_front(pareto_filter(sols))
+
+
+# -------------------------------------------------------------- filtering
+
+
+class TestParetoFilterSorted:
+    @few
+    @given(solution_lists())
+    def test_matches_pareto_filter_exactly(self, sols):
+        # Tuple-exact: same objectives *and* same surviving payloads.
+        assert pareto_filter_sorted(sols) == pareto_filter(sols)
+
+    @few
+    @given(fronts())
+    def test_sorted_input_is_a_fixpoint(self, front):
+        assert pareto_filter_sorted(front) == front
+
+    @few
+    @given(fronts())
+    def test_subsequence_fast_path(self, front):
+        # Subsequences of a sorted front stay sorted — the linear fast
+        # path of the KS truncation — and filtering them is a no-op.
+        sub = front[::2]
+        assert pareto_filter_sorted(sub) == sub
+
+
+# ------------------------------------------------------------------ shift
+
+
+class TestShiftSorted:
+    @few
+    @given(fronts(), coord)
+    def test_matches_shift_then_filter(self, front, x):
+        assert shift_sorted(front, x) == pareto_filter(shift(front, x))
+
+    @few
+    @given(fronts(), coord)
+    def test_rewrap_applied_to_survivors(self, front, x):
+        mark = lambda s: ("ext", s[2])
+        assert shift_sorted(front, x, mark) == pareto_filter(
+            shift(front, x, mark)
+        )
+
+    def test_w_collision_keeps_smaller_delay(self):
+        w = 1293.2694644882506
+        w2 = math.nextafter(w, math.inf)
+        off = 96.61455694252402
+        assert w != w2 and w + off == w2 + off  # the rounding collision
+        front = [(w, 2.0, "hi"), (w2, 1.0, "lo")]
+        out = shift_sorted(front, off)
+        assert out == pareto_filter(shift(front, off))
+        assert out == [(w + off, 1.0 + off, "lo")]
+
+    def test_d_collision_keeps_earlier_point(self):
+        d_lo = 1293.2694644882506
+        d_hi = math.nextafter(d_lo, math.inf)
+        off = 96.61455694252402
+        assert d_lo != d_hi and d_lo + off == d_hi + off
+        front = [(1.0, d_hi, "early"), (2.0, d_lo, "late")]
+        out = shift_sorted(front, off)
+        assert out == pareto_filter(shift(front, off))
+        assert out == [(1.0 + off, d_hi + off, "early")]
+
+
+# ------------------------------------------------------------------ cross
+
+
+def _naive_product(s1, s2):
+    """The unfiltered a*b merge-product candidate list."""
+    return [
+        (w1 + w2, max(d1, d2), (p1, p2))
+        for w1, d1, p1 in s1
+        for w2, d2, p2 in s2
+    ]
+
+
+class TestCrossSorted:
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8))
+    def test_objectives_match_naive_cross(self, s1, s2):
+        got = cross_sorted(s1, s2)
+        assert objectives(got) == objectives(cross(s1, s2))
+        assert is_sorted_front(got)
+
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8))
+    def test_payloads_are_attaining_pairs(self, s1, s2):
+        # On objective-equal ties the surviving payload may differ from
+        # the enumeration-order reference, but it must still be a pair
+        # of input payloads that attains the output point exactly.
+        by_payload1 = {p: (w, d) for w, d, p in s1}
+        by_payload2 = {p: (w, d) for w, d, p in s2}
+        for w, d, (p1, p2) in cross_sorted(s1, s2):
+            w1, d1 = by_payload1[p1]
+            w2, d2 = by_payload2[p2]
+            assert w == w1 + w2 and d == max(d1, d2)
+
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8))
+    def test_combine_callback(self, s1, s2):
+        got = cross_sorted(s1, s2, lambda a, b: a * 100 + b)
+        assert objectives(got) == objectives(cross(s1, s2))
+
+    @few
+    @given(fronts(max_size=8))
+    def test_empty_operand(self, s1):
+        assert cross_sorted(s1, []) == []
+        assert cross_sorted([], s1) == []
+
+    def test_output_bounded_by_a_plus_b_minus_1(self):
+        # Paper, Section IV-A: |S ⊕ S'| <= a + b - 1.
+        rng = random.Random(7)
+        for _ in range(50):
+            s1 = pareto_filter(
+                [(rng.random(), rng.random(), i) for i in range(9)]
+            )
+            s2 = pareto_filter(
+                [(rng.random(), rng.random(), i) for i in range(9)]
+            )
+            if s1 and s2:
+                assert len(cross_sorted(s1, s2)) <= len(s1) + len(s2) - 1
+
+    def test_w_collision_emits_single_point(self):
+        w = 1293.2694644882506
+        w2 = math.nextafter(w, math.inf)
+        x = 96.61455694252402
+        assert w + x == w2 + x
+        s1 = [(w, 2.0, "a"), (w2, 1.0, "b")]
+        s2 = [(x, 0.5, "c")]
+        got = cross_sorted(s1, s2)
+        assert objectives(got) == objectives(cross(s1, s2))
+        assert got == [(w + x, 1.0, ("b", "c"))]
+
+
+class TestCrossMergeSorted:
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8), fronts(max_size=8))
+    def test_matches_union_of_acc_and_product(self, acc, s1, s2):
+        got, allocated = cross_merge_sorted(acc, s1, s2)
+        # acc listed first => pareto_filter's first-encountered rule
+        # prefers acc on ties, like the kernel does.
+        ref = pareto_filter(list(acc) + _naive_product(s1, s2))
+        assert objectives(got) == objectives(ref)
+        assert is_sorted_front(got)
+        assert 0 <= allocated <= len(s1) * len(s2)
+
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8), fronts(max_size=8))
+    def test_surviving_acc_tuples_are_reused(self, acc, s1, s2):
+        got, _ = cross_merge_sorted(acc, s1, s2)
+        acc_ids = {id(s) for s in acc}
+        for s in got:
+            if id(s) in acc_ids:
+                continue
+            # Everything else was allocated from the product stream.
+            assert isinstance(s[2], tuple) and len(s[2]) == 2
+
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8))
+    def test_empty_acc_equals_cross_sorted(self, s1, s2):
+        got, allocated = cross_merge_sorted([], s1, s2)
+        assert got == cross_sorted(s1, s2)
+        assert allocated == len(got)
+
+    @few
+    @given(fronts(max_size=8), fronts(max_size=8))
+    def test_empty_operand_returns_acc_copy(self, acc, s1):
+        got, allocated = cross_merge_sorted(acc, s1, [])
+        assert got == list(acc) and allocated == 0
+
+
+# ------------------------------------------------------------------ union
+
+
+class TestMergeSortedFronts:
+    @few
+    @given(st.lists(fronts(max_size=8), max_size=4))
+    def test_matches_filter_of_concatenation(self, front_list):
+        combined = [s for f in front_list for s in f]
+        # Tuple-exact: ties resolve to the earlier front, matching the
+        # first-encountered rule of pareto_filter.
+        assert merge_sorted_fronts(*front_list) == pareto_filter(combined)
+
+    @few
+    @given(fronts())
+    def test_identity_and_empty(self, front):
+        assert merge_sorted_fronts(front) == front
+        assert merge_sorted_fronts() == []
+        assert merge_sorted_fronts([], front, []) == front
+
+
+class TestMergeShifted:
+    @staticmethod
+    def _reference(runs, rewrap):
+        bucket = []
+        for off, cands, tag in runs:
+            for s in cands:
+                payload = rewrap(tag, s) if tag is not None else s[2]
+                bucket.append((s[0] + off, s[1] + off, payload))
+        return pareto_filter(bucket)
+
+    @few
+    @given(
+        st.lists(
+            st.tuples(coord, fronts(max_size=8), st.sampled_from([None, 1, 2])),
+            max_size=4,
+        )
+    )
+    def test_matches_shift_then_filter(self, runs):
+        rewrap = lambda tag, s: ("ext", tag, s[2])
+        got, allocated = merge_shifted(runs, rewrap)
+        # Tuple-exact, including rewrapped payloads and tie resolution.
+        assert got == self._reference(runs, rewrap)
+        total = sum(len(c) for _, c, _ in runs)
+        assert 0 <= allocated <= total
+
+    @few
+    @given(fronts())
+    def test_identity_run_reuses_tuples(self, front):
+        got, allocated = merge_shifted([(0.0, front, None)])
+        assert got == front
+        assert allocated == 0
+        assert all(a is b for a, b in zip(got, front))
+
+    def test_w_collision_within_a_run(self):
+        w = 1293.2694644882506
+        w2 = math.nextafter(w, math.inf)
+        off = 96.61455694252402
+        assert w + off == w2 + off
+        runs = [(off, [(w, 2.0, "hi"), (w2, 1.0, "lo")], None)]
+        got, _ = merge_shifted(runs)
+        assert got == self._reference(runs, lambda t, s: None)
+        assert got == [(w + off, 1.0 + off, "lo")]
+
+    def test_dominated_run_is_skipped_without_allocating(self):
+        acc_run = (0.0, [(0.0, 0.0, "best")], None)
+        dominated = (5.0, [(1.0, 4.0, "x"), (2.0, 3.0, "y")], None)
+        got, allocated = merge_shifted([acc_run, dominated])
+        assert got == [(0.0, 0.0, "best")]
+        assert allocated == 0
+
+
+# --------------------------------------------------- metric satellites
+
+
+class TestIsParetoFront:
+    @staticmethod
+    def _naive(solutions):
+        objs = objectives(solutions)
+        return not any(
+            weakly_dominates(objs[i], objs[j])
+            for i in range(len(objs))
+            for j in range(len(objs))
+            if i != j
+        )
+
+    @few
+    @given(solution_lists())
+    def test_matches_pairwise_reference(self, sols):
+        assert is_pareto_front(sols) == self._naive(sols)
+
+    def test_duplicates_are_not_a_front(self):
+        assert not is_pareto_front([(1.0, 1.0, "a"), (1.0, 1.0, "b")])
+
+    @few
+    @given(solution_lists())
+    def test_filter_output_is_a_front(self, sols):
+        front = pareto_filter(sols)
+        assert is_pareto_front(front)
+
+
+class TestEpsilonIndicator:
+    @staticmethod
+    def _naive(candidate, reference):
+        if not reference:
+            return 1.0
+        if not candidate:
+            return float("inf")
+        worst = 1.0
+        for rw, rd in objectives(reference):
+            best = float("inf")
+            for cw, cd in objectives(candidate):
+                fw = (
+                    1.0
+                    if cw <= rw == 0
+                    else (cw / rw if rw > 0 else float("inf"))
+                )
+                fd = (
+                    1.0
+                    if cd <= rd == 0
+                    else (cd / rd if rd > 0 else float("inf"))
+                )
+                best = min(best, max(fw, fd, 1.0))
+            worst = max(worst, best)
+        return worst
+
+    @few
+    @given(solution_lists(max_size=10), solution_lists(max_size=10))
+    def test_matches_full_scan(self, candidate, reference):
+        # Exact equality: the binary search evaluates the same divisions
+        # at the same points; zero coordinates take the fallback path.
+        assert epsilon_indicator(candidate, reference) == self._naive(
+            candidate, reference
+        )
+
+    def test_empty_cases(self):
+        assert epsilon_indicator([], []) == 1.0
+        assert epsilon_indicator([(1.0, 1.0, None)], []) == 1.0
+        assert epsilon_indicator([], [(1.0, 1.0, None)]) == float("inf")
+
+
+class TestCountOnFrontier:
+    @staticmethod
+    def _naive(candidate, frontier, tol):
+        found = 0
+        for fw, fd in objectives(frontier):
+            for cw, cd in objectives(candidate):
+                if abs(cw - fw) <= tol and abs(cd - fd) <= tol:
+                    found += 1
+                    break
+        return found
+
+    @few
+    @given(
+        solution_lists(max_size=10),
+        solution_lists(max_size=10),
+        st.sampled_from([0.0, 1e-9, 0.05, 0.5]),
+    )
+    def test_matches_nested_scan(self, candidate, frontier, tol):
+        assert count_on_frontier(candidate, frontier, tol=tol) == self._naive(
+            candidate, frontier, tol
+        )
+
+
+# ---------------------------------------------- pareto_dw regression
+
+
+LEMMA_COMBOS = list(product([False, True], repeat=3))
+
+
+class TestParetoDWKernelEquivalence:
+    """kernels=True and kernels=False return identical (w, d) frontiers."""
+
+    @pytest.mark.parametrize("degree", range(2, 10))
+    def test_identical_frontier_across_lemma_flags(self, degree):
+        # Small spans keep exact integer arithmetic out of play: real
+        # float coordinates exercise the rounding-collision handling.
+        net = random_net(
+            degree, rng=random.Random(1000 + degree), grid=9, span=90.0
+        )
+        for lemma2, lemma3, lemma4 in LEMMA_COMBOS:
+            kw = dict(
+                lemma2=lemma2, lemma3=lemma3, lemma4=lemma4, with_trees=False
+            )
+            fast = pareto_dw(net, kernels=True, **kw)
+            ref = pareto_dw(net, kernels=False, **kw)
+            assert objectives(fast) == objectives(ref), (
+                f"degree={degree} lemmas={(lemma2, lemma3, lemma4)}"
+            )
+
+    @pytest.mark.parametrize("degree", [4, 6, 8])
+    def test_identical_frontier_with_trees(self, degree):
+        net = random_net(
+            degree, rng=random.Random(2000 + degree), grid=9, span=90.0
+        )
+        fast = pareto_dw(net, kernels=True, with_trees=True)
+        ref = pareto_dw(net, kernels=False, with_trees=True)
+        assert objectives(fast) == objectives(ref)
+        # Payload trees must attain (or weakly dominate) the objectives.
+        for w, d, tree in fast:
+            tw, td = tree.objective()
+            assert tw <= w + 1e-9 and td <= d + 1e-9
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_multiple_seeds_degree_7(self, seed):
+        net = random_net(7, rng=random.Random(seed), grid=9, span=90.0)
+        fast = pareto_dw(net, kernels=True, with_trees=False)
+        ref = pareto_dw(net, kernels=False, with_trees=False)
+        assert objectives(fast) == objectives(ref)
