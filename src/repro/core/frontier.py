@@ -556,6 +556,19 @@ def pareto_filter_sorted(solutions: Iterable[Solution]) -> List[Solution]:
     the dominance sweep (``O(k)``); anything else falls back to the
     stable sort + sweep of ``pareto_filter`` (``O(k log k)``). Output and
     tie handling are identical to ``pareto_filter`` in both cases.
+
+    Edge cases: an empty input returns a new empty list, and a single
+    solution is returned as-is in a singleton list (a lone point is
+    always a valid sorted front) — neither touches the sweep.
+
+    >>> pareto_filter_sorted([])
+    []
+    >>> pareto_filter_sorted([(1.0, 2.0, "only")])
+    [(1.0, 2.0, 'only')]
+    >>> pareto_filter_sorted([(2.0, 1.0, "b"), (1.0, 5.0, "a")])
+    [(1.0, 5.0, 'a'), (2.0, 1.0, 'b')]
+    >>> pareto_filter_sorted([(1.0, 5.0, "a"), (2.0, 5.0, "dominated")])
+    [(1.0, 5.0, 'a')]
     """
     items = list(solutions)
     if len(items) <= 1:

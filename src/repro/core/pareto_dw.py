@@ -154,6 +154,45 @@ def _consecutive_splits(bits: List[int], order: List[int]) -> List[int]:
     return list(masks)
 
 
+def _splits_for_mask(
+    mask: int,
+    bits: List[int],
+    size: int,
+    boundary_rank: Optional[List[int]],
+    stats: Optional[DWStats],
+) -> List[int]:
+    """The split submasks every DP path enumerates for ``mask``.
+
+    Shared by the tuple, kernel and array engines so the enumeration
+    order — which decides payload survival on exact ties — is identical
+    across representations. With Lemma 4 active (``boundary_rank`` given
+    and covering the mask's sinks) only circularly-consecutive splits are
+    kept; otherwise all proper submasks containing the lowest sink bit.
+    """
+    if boundary_rank is not None and all(
+        boundary_rank[i] is not None for i in bits
+    ):
+        submasks = _consecutive_splits(bits, boundary_rank)
+        # Keep only one of each complementary pair (lowest-bit rule).
+        low = 1 << bits[0]
+        submasks = [sm for sm in submasks if sm & low]
+        if stats is not None:
+            total = (1 << (size - 1)) - 1
+            stats.splits_saved_lemma4 += max(0, total - len(submasks))
+    else:
+        low = 1 << bits[0]
+        rest = mask & ~low
+        submasks = []
+        sub = rest
+        while True:
+            submasks.append(sub | low)
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        submasks = [sm for sm in submasks if sm != mask]
+    return submasks
+
+
 def pareto_dw(
     net: Net,
     *,
@@ -164,6 +203,7 @@ def pareto_dw(
     max_degree: int = DEFAULT_MAX_DEGREE,
     stats: Optional[DWStats] = None,
     kernels: bool = True,
+    representation: str = "tuple",
 ) -> List[Solution]:
     """Exact Pareto frontier of timing-driven routing trees for ``net``.
 
@@ -177,8 +217,23 @@ def pareto_dw(
     ``(w, d)`` frontier is identical; only the work done differs (see the
     module docstring). It exists for equivalence tests and benchmarks.
 
-    Raises :class:`DegreeTooLargeError` when ``net.degree > max_degree``.
+    ``representation="array"`` runs the NumPy batch engine instead: every
+    DP front lives in contiguous ``(w[], d[])`` arrays and all merge and
+    closure buckets of one subset cardinality are filtered in a single
+    segmented pass (see :mod:`repro.core.frontier_array` and
+    ``docs/numerics.md``). The frontier — objectives, payload tie choices
+    and the shared work counters — is bit-identical to the reference;
+    only the work done differs. When NumPy is unavailable the call falls
+    back to the pure-Python path selected by ``kernels`` (mirroring
+    :meth:`~repro.geometry.hanan.HananGrid.distance_matrix`).
+
+    Raises :class:`DegreeTooLargeError` when ``net.degree > max_degree``,
+    ``ValueError`` for an unknown ``representation``.
     """
+    if representation not in ("tuple", "array"):
+        raise ValueError(
+            f"representation must be 'tuple' or 'array', got {representation!r}"
+        )
     n = net.degree
     if n > max_degree:
         raise DegreeTooLargeError(n, max_degree)
@@ -193,16 +248,31 @@ def pareto_dw(
         import time as _time
 
         t0 = _time.perf_counter()
+    if representation == "array":
+        from .frontier_array import HAVE_NUMPY
+
+        if not HAVE_NUMPY:  # pragma: no cover - numpy is a hard dependency
+            representation = "tuple"
     with span("dw.solve"):
-        result = _pareto_dw_impl(
-            net,
-            lemma2=lemma2,
-            lemma3=lemma3,
-            lemma4=lemma4,
-            with_trees=with_trees,
-            stats=stats,
-            kernels=kernels,
-        )
+        if representation == "array":
+            result = _pareto_dw_array_impl(
+                net,
+                lemma2=lemma2,
+                lemma3=lemma3,
+                lemma4=lemma4,
+                with_trees=with_trees,
+                stats=stats,
+            )
+        else:
+            result = _pareto_dw_impl(
+                net,
+                lemma2=lemma2,
+                lemma3=lemma3,
+                lemma4=lemma4,
+                with_trees=with_trees,
+                stats=stats,
+                kernels=kernels,
+            )
     if flush:
         _flush_dw_stats(stats)
     if emitting:
@@ -416,27 +486,7 @@ def _pareto_dw_impl(
                 bylo, byhi = min(iys), max(iys)
 
             # Which splits to enumerate.
-            if boundary_rank is not None and all(
-                boundary_rank[i] is not None for i in bits
-            ):
-                submasks = _consecutive_splits(bits, boundary_rank)
-                # Keep only one of each complementary pair (lowest-bit rule).
-                low = 1 << bits[0]
-                submasks = [sm for sm in submasks if sm & low]
-                if stats is not None:
-                    total = (1 << (size - 1)) - 1
-                    stats.splits_saved_lemma4 += max(0, total - len(submasks))
-            else:
-                low = 1 << bits[0]
-                rest = mask & ~low
-                submasks = []
-                sub = rest
-                while True:
-                    submasks.append(sub | low)
-                    if sub == 0:
-                        break
-                    sub = (sub - 1) & rest
-                submasks = [sm for sm in submasks if sm != mask]
+            submasks = _splits_for_mask(mask, bits, size, boundary_rank, stats)
 
             merged: Dict[GridNode, List[Solution]] = {}
             with span("dw.merge"):
@@ -469,6 +519,533 @@ def _pareto_dw_impl(
             tw, td = tree.objective()
             # The DP value may correspond to an edge multiset; the realised
             # tree can only be equal or better in both objectives.
+            final.append((min(w, tw), min(d, td), tree))
+    return clean_front(final)
+
+
+def _pareto_dw_array_impl(
+    net: Net,
+    *,
+    lemma2: bool,
+    lemma3: bool,
+    lemma4: bool,
+    with_trees: bool,
+    stats: Optional[DWStats],
+) -> List[Solution]:
+    """The array-native DP engine of :func:`pareto_dw` (``representation="array"``).
+
+    Same DP, same transitions, same frontiers as :func:`_pareto_dw_impl` —
+    but every front lives in contiguous NumPy arrays and the work of one
+    subset cardinality is batched into a handful of vectorized passes:
+
+    * **merge phase** — all ``(mask, split, node)`` cross products of one
+      cardinality are enumerated with :func:`~repro.core.frontier_array.\
+ragged_product_indices` and filtered by one segmented exact sweep, one
+      segment per ``(mask, node)`` bucket;
+    * **closure phase** — every merged front is extended to every grid
+      node via one broadcast against the distance matrix and filtered the
+      same way, reusing source elements for identity extensions exactly
+      like the tuple kernels reuse tuples.
+
+    Backpointers are struct-of-arrays (kind/arg columns) instead of
+    nested tuples; payload tuples are materialized only for the final
+    frontier, which makes the result — objectives, payload structure and
+    tie choices included — bit-identical to the reference path (see
+    ``docs/numerics.md`` for why each step preserves IEEE semantics).
+    """
+    import numpy as np
+
+    from .frontier_array import (
+        ragged_product_indices,
+        segment_strict_prune,
+        segmented_pareto_filter,
+    )
+
+    # Below this many candidates the strict-dominance pre-pass costs more
+    # in fixed per-call passes than the sort it shrinks; the exact filter
+    # alone produces identical fronts (the prune only drops elements the
+    # filter would drop anyway).
+    prune_min = 1024
+
+    grid = HananGrid.of_net(net)
+    pin_nodes = grid.pin_nodes()
+    source_node = pin_nodes[0]
+    sink_nodes = pin_nodes[1:]
+    num_sinks = len(sink_nodes)
+    full = (1 << num_sinks) - 1
+
+    if lemma2:
+        corner = set(grid.corner_nodes())
+        nodes = [v for v in grid.nodes() if v not in corner]
+    else:
+        corner = set()
+        nodes = list(grid.nodes())
+    if stats is not None:
+        stats.grid_nodes = len(nodes)
+        stats.pruned_corner_nodes = len(corner)
+
+    boundary_rank = _boundary_order(grid, sink_nodes) if lemma4 else None
+
+    num_nodes = len(nodes)
+    ny = grid.ny
+    node_index = {v: vi for vi, v in enumerate(nodes)}
+    node_flat = np.array([ix * ny + iy for ix, iy in nodes], dtype=np.int64)
+    node_ix = np.array([ix for ix, _ in nodes], dtype=np.int64)
+    node_iy = np.array([iy for _, iy in nodes], dtype=np.int64)
+    # Node-indexed distance matrix, gathered from the same float values
+    # grid.dist() produces (bit-identical by the distance_matrix contract).
+    dmat = np.asarray(grid.distance_matrix(), dtype=np.float64)[
+        np.ix_(node_flat, node_flat)
+    ]
+
+    # --- element store: struct-of-arrays backpointers, appended per batch.
+    # kind 0 = leaf(sink flat), 1 = ext(child, u flat, v flat),
+    # kind 2 = merge(left, right). float columns hold the objectives.
+    ew_chunks: List[Any] = []
+    ed_chunks: List[Any] = []
+    kind_chunks: List[Any] = []
+    ea_chunks: List[Any] = []
+    eb_chunks: List[Any] = []
+    ec_chunks: List[Any] = []
+    num_elems = 0
+    cons: List[Any] = [None] * 6  # consolidated EW, ED, KIND, EA, EB, EC
+
+    def _append_elems(ew: Any, ed: Any, kind: int, ea: Any, eb: Any, ec: Any) -> int:
+        """Append one batch of elements; returns the batch's base id."""
+        nonlocal num_elems
+        base = num_elems
+        ew_chunks.append(ew)
+        ed_chunks.append(ed)
+        kind_chunks.append(np.full(ew.shape[0], kind, dtype=np.int64))
+        ea_chunks.append(ea)
+        eb_chunks.append(eb)
+        ec_chunks.append(ec)
+        num_elems += ew.shape[0]
+        cons[0] = None
+        return base
+
+    def _elems() -> Tuple[Any, Any, Any, Any, Any, Any]:
+        """Consolidated element columns (rebuilt only after appends)."""
+        if cons[0] is None:
+            cons[0] = np.concatenate(ew_chunks) if ew_chunks else np.empty(0)
+            cons[1] = np.concatenate(ed_chunks) if ed_chunks else np.empty(0)
+            cons[2] = (
+                np.concatenate(kind_chunks)
+                if kind_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            cons[3] = (
+                np.concatenate(ea_chunks)
+                if ea_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            cons[4] = (
+                np.concatenate(eb_chunks)
+                if eb_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            cons[5] = (
+                np.concatenate(ec_chunks)
+                if ec_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+        return cons[0], cons[1], cons[2], cons[3], cons[4], cons[5]
+
+    # --- front store: FE maps front slots to element ids; SW/SD mirror
+    # each slot's (w, d) objectives in contiguous float columns so the
+    # merge phase reads them with plain float gathers (slot values equal
+    # the element's exactly — identity closure adds a bitwise 0.0).
+    # PTR/CNT give each (mask, node) front's slot range; uncomputed masks
+    # read as empty.
+    fe_chunks: List[Any] = []
+    sw_chunks: List[Any] = []
+    sd_chunks: List[Any] = []
+    num_slots = 0
+    fe_cache: List[Any] = [None, None, None]
+    PTR = np.zeros((full + 1, num_nodes), dtype=np.int64)
+    CNT = np.zeros((full + 1, num_nodes), dtype=np.int64)
+
+    def _append_slots(fe: Any, sw: Any, sd: Any) -> int:
+        nonlocal num_slots
+        base = num_slots
+        fe_chunks.append(fe)
+        sw_chunks.append(sw)
+        sd_chunks.append(sd)
+        num_slots += fe.shape[0]
+        fe_cache[0] = None
+        return base
+
+    def _fe() -> Any:
+        if fe_cache[0] is None:
+            fe_cache[0] = (
+                np.concatenate(fe_chunks)
+                if fe_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            fe_cache[1] = (
+                np.concatenate(sw_chunks) if sw_chunks else np.empty(0)
+            )
+            fe_cache[2] = (
+                np.concatenate(sd_chunks) if sd_chunks else np.empty(0)
+            )
+        return fe_cache[0]
+
+    def _slot_w_d() -> Tuple[Any, Any]:
+        _fe()
+        return fe_cache[1], fe_cache[2]
+
+    def _closure_batch(
+        masks: List[int],
+        src_ptr: Any,
+        src_eids: Any,
+        src_vis: Any,
+        src_w: Any,
+        src_d: Any,
+    ) -> None:
+        """Extend every source front of every mask to every node, filter.
+
+        ``src_*`` hold the merged fronts of all ``masks`` back to back
+        (block ``m`` delimited by ``src_ptr``), each block ordered by
+        source node then front position — the reference's closure bucket
+        order. Writes the resulting fronts into PTR/CNT/FE and appends
+        extension elements for the non-identity survivors.
+        """
+        n_masks = len(masks)
+        e_arr = np.diff(src_ptr)
+        n_src = int(e_arr.sum())
+        total = n_src * num_nodes
+        if stats is not None:
+            stats.closure_extensions += n_src * (num_nodes - 1)
+        if total == 0:
+            return
+        # Candidate matrices, element-major: row e = source element,
+        # column v = target node, value = source objectives +
+        # dmat[u_e, v] — both objectives grow by the same wirelength
+        # offset, so two broadcast adds against the shared distance rows
+        # build every candidate with no index expansion at all. The
+        # segment of cell (e, v) is (mask_of_e, v); within a segment the
+        # flattened row-major order is ascending e — the reference
+        # bucket order.
+        drows = dmat[src_vis]
+        c_w = src_w[:, None] + drows
+        c_d = src_d[:, None] + drows
+        nz = e_arr > 0
+        cblock = np.repeat(
+            np.arange(int(nz.sum()), dtype=np.int64), e_arr[nz]
+        )
+        mask_of_e = np.repeat(np.arange(n_masks, dtype=np.int64), e_arr)
+        if total >= prune_min:
+            # Strict-dominance pre-pass, per segment (m, v) = the mask's
+            # rows of one column: the same two real witnesses as
+            # segment_strict_prune, computed with axis-0 reduceats over
+            # contiguous row blocks (empty blocks skipped via ``nz``).
+            bstarts = src_ptr[:-1][nz]
+            inf = np.float64("inf")
+            min_d = np.minimum.reduceat(c_d, bstarts, axis=0)[cblock]
+            min_w = np.minimum.reduceat(c_w, bstarts, axis=0)[cblock]
+            w_at = np.minimum.reduceat(
+                np.where(c_d == min_d, c_w, inf), bstarts, axis=0
+            )[cblock]
+            d_at = np.minimum.reduceat(
+                np.where(c_w == min_w, c_d, inf), bstarts, axis=0
+            )[cblock]
+            dom = (w_at < c_w) | ((w_at == c_w) & (min_d < c_d))
+            dom |= (d_at < c_d) | ((d_at == c_d) & (min_w < c_w))
+            sel = np.flatnonzero(~dom)
+            w_c = c_w.ravel().take(sel)
+            d_c = c_d.ravel().take(sel)
+            e_c = sel // num_nodes
+            v_c = sel - e_c * num_nodes
+        else:
+            sel = None
+            w_c = c_w.ravel()
+            d_c = c_d.ravel()
+            e_c = np.repeat(
+                np.arange(n_src, dtype=np.int64), num_nodes
+            )
+            v_c = np.tile(np.arange(num_nodes, dtype=np.int64), n_src)
+        seg_c = mask_of_e.take(e_c) * num_nodes + v_c
+        sidx = segmented_pareto_filter(seg_c, w_c, d_c)
+        s_seg = seg_c.take(sidx)
+        s_w = w_c.take(sidx)
+        s_d = d_c.take(sidx)
+        e_full = e_c.take(sidx)
+        s_child = src_eids.take(e_full)
+        s_u = src_vis.take(e_full)
+        s_v = v_c.take(sidx)
+        is_id = s_u == s_v
+        new = ~is_id
+        n_new = int(new.sum())
+        elem_base = _append_elems(
+            s_w[new],
+            s_d[new],
+            1,
+            s_child[new],
+            node_flat[s_u[new]],
+            node_flat[s_v[new]],
+        )
+        new_ids = elem_base + np.cumsum(new) - 1
+        fe_vals = np.where(is_id, s_child, new_ids)
+        slot_base = _append_slots(fe_vals, s_w, s_d)
+        counts = np.bincount(s_seg, minlength=n_masks * num_nodes).reshape(
+            n_masks, num_nodes
+        )
+        starts = slot_base + np.concatenate(
+            ([0], np.cumsum(counts.ravel())[:-1])
+        ).reshape(n_masks, num_nodes)
+        masks_arr = np.array(masks, dtype=np.int64)
+        PTR[masks_arr] = starts
+        CNT[masks_arr] = counts
+        if stats is not None:
+            stats.closure_allocations += n_new
+            top = int(counts.max()) if counts.size else 0
+            if top > stats.max_front_size:
+                stats.max_front_size = top
+
+    def _merge_batch(
+        mask_rows: List[Tuple[int, List[int], Any]],
+    ) -> Tuple[Any, Any, Any, Any, Any]:
+        """All split merges of one cardinality in one segmented filter.
+
+        ``mask_rows`` holds ``(mask, submasks, bbox_node_indices)`` per
+        mask. Returns the merged fronts as closure-batch inputs:
+        ``(src_ptr, src_eids, src_vis, src_w, src_d)`` with one block
+        per mask (in ``mask_rows`` order), each ordered by node then
+        front position. Appends merge elements for every survivor.
+        """
+        # Row grid construction, fully vectorized across masks: one row per
+        # (mask, bbox node, split), node-major within each mask so the
+        # products of one (mask, node) bucket land contiguously in split
+        # order — the reference enumeration order.
+        n_masks = len(mask_rows)
+        sub_flat: List[int] = []
+        mask_vals: List[int] = []
+        ns_list: List[int] = []
+        bb_parts: List[Any] = []
+        nb_list: List[int] = []
+        for mask, submasks, bb in mask_rows:
+            sub_flat.extend(submasks)
+            mask_vals.append(mask)
+            ns_list.append(len(submasks))
+            bb_parts.append(bb)
+            nb_list.append(bb.shape[0])
+        ns_arr = np.array(ns_list, dtype=np.int64)
+        nb_arr = np.array(nb_list, dtype=np.int64)
+        rows_per_mask = ns_arr * nb_arr
+        total_rows = int(rows_per_mask.sum())
+        seg_base = int(nb_arr.sum())
+        bb_starts = np.concatenate(([0], np.cumsum(nb_arr)))
+        seg_mask_ptr = bb_starts
+        empty_i = np.empty(0, dtype=np.int64)
+        if total_rows == 0:
+            return (
+                np.zeros(n_masks + 1, dtype=np.int64),
+                empty_i,
+                empty_i,
+                np.empty(0),
+                np.empty(0),
+            )
+        sub_all = np.array(sub_flat, dtype=np.int64)
+        bb_all = np.concatenate(bb_parts)
+        sub_starts = np.concatenate(([0], np.cumsum(ns_arr)[:-1]))
+        row_starts = np.concatenate(([0], np.cumsum(rows_per_mask)[:-1]))
+        mask_of_row = np.repeat(np.arange(n_masks, dtype=np.int64), rows_per_mask)
+        pos = np.arange(total_rows, dtype=np.int64) - row_starts[mask_of_row]
+        ns_rep = ns_arr[mask_of_row]
+        v_local = pos // ns_rep
+        q1_all = sub_all[sub_starts[mask_of_row] + pos % ns_rep]
+        q2_all = np.array(mask_vals, dtype=np.int64)[mask_of_row] ^ q1_all
+        segrow = bb_starts[:-1][mask_of_row] + v_local
+        v_all = bb_all[segrow]
+        c1 = CNT[q1_all, v_all]
+        c2 = CNT[q2_all, v_all]
+        st1 = PTR[q1_all, v_all]
+        st2 = PTR[q2_all, v_all]
+        if stats is not None:
+            stats.merge_transitions += int(((c1 > 0) & (c2 > 0)).sum())
+        cnts = c1 * c2
+        _, i_a, i_b = ragged_product_indices(c1, c2, st1, st2, rows=False)
+        sw, sd = _slot_w_d()
+        # Merged pair: w adds, d maxes (in place over the fresh gathers).
+        mw = sw.take(i_a)
+        np.add(mw, sw.take(i_b), out=mw)
+        md = sd.take(i_a)
+        np.maximum(md, sd.take(i_b), out=md)
+        n_cand = mw.shape[0]
+        if stats is not None:
+            stats.merge_candidates += n_cand
+        # Rows are mask-major, node-major, split-minor, so segment ids
+        # are non-decreasing along the candidate axis: per-segment sizes
+        # aggregate per-row product counts, and survivors recover their
+        # segment / row ids by binary search instead of a full-length
+        # expansion (exact: counts stay far below 2**53).
+        sizes = np.bincount(segrow, weights=cnts, minlength=seg_base).astype(
+            np.int64
+        )
+        seg_cum = np.cumsum(sizes)
+        starts = np.concatenate(([0], seg_cum[:-1]))
+        if n_cand >= prune_min:
+            keep0 = segment_strict_prune(starts, sizes, mw, md)
+            sel = np.nonzero(keep0)[0]
+            w_c = mw.take(sel)
+            d_c = md.take(sel)
+            seg_c = np.searchsorted(seg_cum, sel, side="right")
+        else:
+            sel = None
+            w_c = mw
+            d_c = md
+            seg_c = np.repeat(segrow, cnts)
+        sidx = segmented_pareto_filter(seg_c, w_c, d_c)
+        full = sel.take(sidx) if sel is not None else sidx
+        s_w = w_c.take(sidx)
+        s_d = d_c.take(sidx)
+        s_seg = seg_c.take(sidx)
+        fe = _fe()
+        elem_base = _append_elems(
+            s_w,
+            s_d,
+            2,
+            fe[i_a[full]],
+            fe[i_b[full]],
+            np.zeros(sidx.shape[0], dtype=np.int64),
+        )
+        src_eids = elem_base + np.arange(sidx.shape[0], dtype=np.int64)
+        seg_counts = np.bincount(s_seg, minlength=seg_base)
+        cum = np.concatenate(([0], np.cumsum(seg_counts)))
+        block_ptr = cum[seg_mask_ptr]
+        row_of = np.searchsorted(np.cumsum(cnts), full, side="right")
+        return block_ptr, src_eids, v_all[row_of], s_w, s_d
+
+    # --- singletons: one leaf element per sink, closed over all nodes.
+    with span("dw.closure"):
+        leaf_vis = np.array(
+            [node_index[s_node] for s_node in sink_nodes], dtype=np.int64
+        )
+        leaf_base = _append_elems(
+            np.zeros(num_sinks, dtype=np.float64),
+            np.zeros(num_sinks, dtype=np.float64),
+            0,
+            node_flat[leaf_vis],
+            np.zeros(num_sinks, dtype=np.int64),
+            np.zeros(num_sinks, dtype=np.int64),
+        )
+        _closure_batch(
+            [1 << si for si in range(num_sinks)],
+            np.arange(num_sinks + 1, dtype=np.int64),
+            leaf_base + np.arange(num_sinks, dtype=np.int64),
+            leaf_vis,
+            np.zeros(num_sinks, dtype=np.float64),
+            np.zeros(num_sinks, dtype=np.float64),
+        )
+        if stats is not None:
+            stats.subsets += num_sinks
+
+    # --- larger subsets, one batched merge + closure pass per cardinality.
+    masks_by_size: List[List[int]] = [[] for _ in range(num_sinks + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[bin(mask).count("1")].append(mask)
+
+    all_vi = np.arange(num_nodes, dtype=np.int64)
+    bbox_cache: Dict[Tuple[int, int, int, int], Any] = {}
+    for size in range(2, num_sinks + 1):
+        mask_rows: List[Tuple[int, List[int], Any]] = []
+        for mask in masks_by_size[size]:
+            bits = [i for i in range(num_sinks) if mask >> i & 1]
+            if lemma3:
+                ixs = [sink_nodes[i][0] for i in bits]
+                iys = [sink_nodes[i][1] for i in bits]
+                key = (min(ixs), max(ixs), min(iys), max(iys))
+                bb = bbox_cache.get(key)
+                if bb is None:
+                    bxlo, bxhi, bylo, byhi = key
+                    bb = np.nonzero(
+                        (node_ix >= bxlo)
+                        & (node_ix <= bxhi)
+                        & (node_iy >= bylo)
+                        & (node_iy <= byhi)
+                    )[0]
+                    bbox_cache[key] = bb
+                if stats is not None:
+                    stats.merge_skipped_lemma3 += num_nodes - bb.shape[0]
+            else:
+                bb = all_vi
+            submasks = _splits_for_mask(mask, bits, size, boundary_rank, stats)
+            mask_rows.append((mask, submasks, bb))
+        with span("dw.merge"):
+            block_ptr, m_eids, m_vis, m_w, m_d = _merge_batch(mask_rows)
+        with span("dw.closure"):
+            _closure_batch(
+                [m for m, _, _ in mask_rows],
+                block_ptr,
+                m_eids,
+                m_vis,
+                m_w,
+                m_d,
+            )
+        if stats is not None:
+            stats.subsets += len(mask_rows)
+
+    # --- materialize the final frontier's payload tuples (tiny: one walk
+    # per surviving solution) so downstream consumers see the exact same
+    # backpointer structure as the reference path.
+    src_vi = node_index[source_node]
+    cnt = int(CNT[full, src_vi])
+    ptr = int(PTR[full, src_vi])
+    fe = _fe()
+    ew, ed, ekind, ea, eb, ec = _elems()
+    memo: Dict[int, Any] = {}
+
+    def _payload_of(eid: int) -> Any:
+        stack = [eid]
+        while stack:
+            e = stack[-1]
+            if e in memo:
+                stack.pop()
+                continue
+            k = int(ekind[e])
+            if k == 0:
+                flat = int(ea[e])
+                memo[e] = ("leaf", (flat // ny, flat % ny))
+                stack.pop()
+            elif k == 1:
+                child = int(ea[e])
+                if child in memo:
+                    uf = int(eb[e])
+                    vf = int(ec[e])
+                    memo[e] = (
+                        "ext",
+                        (uf // ny, uf % ny),
+                        (vf // ny, vf % ny),
+                        memo[child],
+                    )
+                    stack.pop()
+                else:
+                    stack.append(child)
+            else:
+                left = int(ea[e])
+                right = int(eb[e])
+                if left in memo and right in memo:
+                    memo[e] = ("merge", memo[left], memo[right])
+                    stack.pop()
+                else:
+                    if left not in memo:
+                        stack.append(left)
+                    if right not in memo:
+                        stack.append(right)
+        return memo[eid]
+
+    result = [
+        (float(ew[e]), float(ed[e]), _payload_of(int(e)))
+        for e in fe[ptr : ptr + cnt].tolist()
+    ]
+    if not with_trees:
+        return clean_front(result)
+
+    final: List[Solution] = []
+    with span("dw.reconstruct"):
+        for w, d, payload in result:
+            tree = reconstruct_tree(net, grid, payload)
+            tw, td = tree.objective()
             final.append((min(w, tw), min(d, td), tree))
     return clean_front(final)
 

@@ -6,9 +6,11 @@ Usage::
 
 Walks ``root`` (default ``src/repro``), parses each ``.py`` file, and
 exits 1 listing every module whose AST has no module docstring. Each
-``--strict`` path is held to a higher bar: every *public* top-level
-function, class, and public method there must carry a docstring too
-(the observability API in ``src/repro/obs`` is checked this way in CI).
+``--strict`` path — a package directory or a single module file — is
+held to a higher bar: every *public* top-level function, class, and
+public method there must carry a docstring too (the observability API
+in ``src/repro/obs`` and the frontier kernel modules are checked this
+way in CI).
 """
 
 from __future__ import annotations
@@ -44,11 +46,17 @@ def _public_defs(tree: ast.Module):
                     yield f"{node.name}.{sub.name}", sub
 
 
+def _py_files(root: Path) -> List[Path]:
+    """``root`` itself if it is a module file, else its ``.py`` tree."""
+    return [root] if root.is_file() else sorted(root.rglob("*.py"))
+
+
 def definitions_missing_docstrings(root: Path) -> List[Tuple[Path, int, str]]:
     """Public definitions under ``root`` lacking docstrings, as
-    ``(path, lineno, qualified name)`` triples."""
+    ``(path, lineno, qualified name)`` triples. ``root`` may be a
+    package directory or a single ``.py`` file."""
     missing = []
-    for path in sorted(root.rglob("*.py")):
+    for path in _py_files(root):
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
         for qualname, node in _public_defs(tree):
             if not ast.get_docstring(node):
@@ -86,8 +94,10 @@ def main(argv: List[str]) -> int:
 
     for strict in args.strict:
         strict_root = Path(strict)
-        if not strict_root.is_dir():
-            print(f"error: {strict_root} is not a directory", file=sys.stderr)
+        if not (strict_root.is_dir()
+                or (strict_root.is_file() and strict_root.suffix == ".py")):
+            print(f"error: {strict_root} is not a directory or .py module",
+                  file=sys.stderr)
             return 2
         undocumented = definitions_missing_docstrings(strict_root)
         if undocumented:
