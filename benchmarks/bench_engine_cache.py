@@ -8,6 +8,12 @@ plus rigid translates *and* dihedral copies is routed twice through
 ``CachedRouter(PatLabor(), canonicalize=mode)`` — once per mode — and
 the hit rates are compared.
 
+A third pass measures the **persistent tier** (PR 7): the same workload
+is routed by a symmetry cache backed by a
+:class:`~repro.core.cache_store.PersistentStore`, then replayed through
+a *fresh* router (empty LRU — a new process) over the same store file.
+Every canonical pattern must come back from disk, bit-identical.
+
 Emits
 
 * ``results/engine_cache.txt`` — the per-mode hit-rate table,
@@ -17,12 +23,15 @@ Emits
 
 Asserted shape: both modes hit every pure translate; only the symmetry
 mode hits the dihedral copies, so its hit rate is *strictly* higher;
-and every front served off a symmetry hit is objective-identical to a
-cold route of that copy.
+every front served off a symmetry hit is objective-identical to a cold
+route of that copy; and the fresh-process replay over the store routes
+nothing at all (store hit rate 1.0, fronts bit-identical).
 """
 
 import json
 import random
+import tempfile
+from pathlib import Path
 
 from repro import Net, obs
 from repro.core.cache import CachedRouter
@@ -115,6 +124,41 @@ def test_engine_cache_hit_rates():
             (round(w, 6), round(d, 6)) for w, d, _ in expect
         ]
 
+    # Persistent tier: populate a store, then replay the workload through
+    # a fresh router (empty LRU = new process) over the same file. Every
+    # memory miss must be served from disk, bit-identically.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        db = Path(tmp) / "store.sqlite"
+        writer = CachedRouter(PatLabor(), canonicalize="symmetry", store=db)
+        for net in nets:
+            writer.route(net)
+        writer.close()
+        fresh = CachedRouter(PatLabor(), canonicalize="symmetry", store=db)
+        replayed = {net.name: fresh.route(net) for net in nets}
+        stats["store"] = {
+            "hits": fresh.hits,
+            "misses": fresh.misses,
+            "store_hits": fresh.store_hits,
+            "hit_rate": fresh.hit_rate,
+            "store_hit_rate": fresh.store_hit_rate,
+        }
+        fresh.close()
+    # The fresh process never routed: every unique pattern came off disk
+    # (one store hit per base net), repeats off the re-warmed memory LRU.
+    assert stats["store"]["misses"] == 0
+    assert stats["store"]["store_hits"] == BASE_NETS
+    assert stats["store"]["store_hit_rate"] == 1.0
+    for net in nets:
+        served = replayed[net.name]
+        warm = stats["symmetry"]["fronts"][net.name]
+        assert [
+            (w, d, tuple((p.x, p.y) for p in t.points), tuple(t.parent))
+            for w, d, t in served
+        ] == [
+            (w, d, tuple((p.x, p.y) for p in t.points), tuple(t.parent))
+            for w, d, t in warm
+        ], net.name
+
     rows = [
         f"{'mode':<14}{'hits':>8}{'misses':>8}{'hit rate':>10}",
         "-" * 40,
@@ -124,6 +168,12 @@ def test_engine_cache_hit_rates():
         rows.append(
             f"{mode:<14}{s['hits']:>8}{s['misses']:>8}{s['hit_rate']:>10.3f}"
         )
+    s = stats["store"]
+    rows.append(
+        f"{'store replay':<14}{s['hits'] + s['store_hits']:>8}"
+        f"{s['misses']:>8}{s['hit_rate']:>10.3f}"
+        f"   ({s['store_hits']} from disk)"
+    )
     rows.append(
         f"\nworkload: {BASE_NETS} base nets, {translates} translates, "
         f"{dihedral} dihedral copies ({len(nets)} total)"
@@ -142,6 +192,7 @@ def test_engine_cache_hit_rates():
             },
             "translation_hit_rate": stats["translation"]["hit_rate"],
             "symmetry_hit_rate": stats["symmetry"]["hit_rate"],
+            "store_hit_rate": stats["store"]["store_hit_rate"],
         },
     )
     payload = json.loads(path.read_text())
@@ -155,6 +206,7 @@ def test_engine_cache_hit_rates():
             "symmetry_hit_rate": stats["symmetry"]["hit_rate"],
             "symmetry_hits": stats["symmetry"]["hits"],
             "cache.misses": stats["symmetry"]["misses"],
+            "store_replay_hit_rate": stats["store"]["store_hit_rate"],
         },
         name="engine_cache",
         config={

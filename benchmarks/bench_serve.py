@@ -1,0 +1,194 @@
+"""Routing-as-a-service vs per-invocation cold starts.
+
+Not a paper artefact: this benchmark quantifies what the ``repro serve``
+daemon (persistent engine + shared-LUT worker pool + disk-backed cache
+tier) buys over the one-shot CLI model on repeated workloads — the
+deployment pattern PatLabor targets, where a placer iterates and most
+nets recur between calls.
+
+The same request stream is timed two ways:
+
+* **cold** — every request pays a fresh "invocation": the lookup-table
+  cache is dropped and the engine stack rebuilt (LUT JSON re-parsed from
+  disk, caches empty) before routing, exactly what ``repro route`` costs
+  per process, minus interpreter start-up (so the measured speedup is a
+  *lower bound* on the real one).
+* **warm** — one resident daemon (:class:`repro.serve.ServerThread`)
+  with a pre-warmed persistent store serves the identical stream over a
+  Unix socket through :class:`repro.serve.ServeClient`.
+
+Emits
+
+* ``results/serve.txt`` — the cold/warm table and speedup,
+* ``results/BENCH_serve.json`` — counters plus daemon statistics,
+* ``results/ledger.jsonl`` — one appended ``serve`` run record carrying
+  ``serve.requests_per_second`` and ``cache.store_hit_rate`` for
+  ``repro obs check`` against the committed baseline.
+
+Asserted shape: the daemon answers the stream **>= 5x** faster than the
+cold-start model, its store hit rate is positive (disk tier serving),
+and every warm front is objective-identical to its cold counterpart.
+"""
+
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.engine import EngineSpec, build_engine
+from repro.geometry.net import random_net
+from repro.lut.default import default_table
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+from conftest import RESULTS_DIR, write_artifact
+
+UNIQUE_NETS = 8     # distinct patterns in the pool (degrees 4-6: LUT-served)
+REQUESTS = 12       # requests in the stream
+NETS_PER_REQUEST = 5
+MIN_SPEEDUP = 5.0   # gate: daemon must beat cold starts by this factor
+
+
+def _workload():
+    """A request stream drawing (with repeats) from a small net pool."""
+    rng = random.Random(2027)
+    pool = [
+        random_net(4 + i % 3, rng=rng, name=f"u{i}")
+        for i in range(UNIQUE_NETS)
+    ]
+    stream = [
+        [rng.choice(pool) for _ in range(NETS_PER_REQUEST)]
+        for _ in range(REQUESTS)
+    ]
+    return pool, stream
+
+
+def _route_stream_cold(stream):
+    """The per-invocation model: rebuild the world for every request."""
+    fronts = {}
+    t0 = time.perf_counter()
+    for request in stream:
+        default_table.cache_clear()  # a new process has no parsed LUT
+        engine = build_engine(
+            EngineSpec(
+                router="patlabor",
+                router_options={"lut": default_table()},
+                cache="symmetry",
+            )
+        )
+        for net in request:
+            fronts[net.name] = [
+                (w, d) for w, d, _t in engine.route(net)
+            ]
+    return time.perf_counter() - t0, fronts
+
+
+def _route_stream_warm(stream, socket_path, store_path):
+    """The service model: one daemon, one socket, the same stream."""
+    config = ServeConfig(
+        socket_path=socket_path, workers=2, store_path=store_path
+    )
+    with ServerThread(config) as handle:
+        with ServeClient(socket_path=socket_path) as client:
+            client.ping()  # connection + pool are up before the clock starts
+            fronts = {}
+            t0 = time.perf_counter()
+            for request in stream:
+                for name, front in client.route(request):
+                    fronts[name] = [(w, d) for w, d, _t in front]
+            elapsed = time.perf_counter() - t0
+            stats = client.stats()
+    return elapsed, fronts, stats
+
+
+def test_serve_throughput_vs_cold_starts():
+    pool, stream = _workload()
+    cold_seconds, cold_fronts = _route_stream_cold(stream)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        socket_path = str(Path(tmp) / "serve.sock")
+        store_path = str(Path(tmp) / "store.sqlite")
+        # Pre-warm the disk tier: a prior run's daemon already solved the
+        # pool (the cross-run scenario the store exists for).
+        warm_config = ServeConfig(
+            socket_path=socket_path, workers=2, store_path=store_path
+        )
+        with ServerThread(warm_config) as handle:
+            with ServeClient(socket_path=socket_path) as client:
+                client.route(pool)
+        elapsed, warm_fronts, stats = _route_stream_warm(
+            stream, socket_path, store_path
+        )
+
+    speedup = cold_seconds / elapsed if elapsed > 0 else float("inf")
+    requests_per_second = REQUESTS / elapsed if elapsed > 0 else 0.0
+    total_nets = REQUESTS * NETS_PER_REQUEST
+
+    # Transparency: the daemon's fronts match the cold model's exactly.
+    assert set(warm_fronts) == set(cold_fronts)
+    for name, front in warm_fronts.items():
+        assert front == cold_fronts[name], name
+
+    # The disk tier actually served: memory misses (fresh workers) were
+    # answered from the pre-warmed store, not re-routed.
+    assert stats["store_hit_rate"] > 0.0
+    assert stats["warm_hit_rate"] > 0.0
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"daemon speedup {speedup:.1f}x below the {MIN_SPEEDUP:.0f}x gate "
+        f"(cold {cold_seconds:.2f}s vs warm {elapsed:.2f}s)"
+    )
+
+    rows = [
+        f"{'model':<22}{'seconds':>10}{'req/s':>10}",
+        "-" * 42,
+        f"{'cold starts':<22}{cold_seconds:>10.3f}"
+        f"{REQUESTS / cold_seconds:>10.1f}",
+        f"{'daemon (warm store)':<22}{elapsed:>10.3f}"
+        f"{requests_per_second:>10.1f}",
+        f"\nspeedup: {speedup:.1f}x on {REQUESTS} requests x "
+        f"{NETS_PER_REQUEST} nets ({UNIQUE_NETS} unique patterns)",
+        f"served: memory={stats['served_memory']} "
+        f"store={stats['served_store']} routed={stats['served_routed']} "
+        f"(store hit rate {stats['store_hit_rate']:.3f})",
+    ]
+    write_artifact("serve.txt", "\n".join(rows))
+
+    path = obs.write_bench_json(
+        "serve",
+        directory=RESULTS_DIR,
+        extra={
+            "workload": {
+                "unique_nets": UNIQUE_NETS,
+                "requests": REQUESTS,
+                "nets_per_request": NETS_PER_REQUEST,
+            },
+            "cold_seconds": cold_seconds,
+            "warm_seconds": elapsed,
+            "speedup": speedup,
+            "daemon_stats": stats,
+        },
+    )
+    payload = json.loads(path.read_text())
+    assert payload["speedup"] >= MIN_SPEEDUP
+    print(f"\n[metrics written to {path}]")
+
+    record = obs.make_record(
+        {
+            "serve.requests_per_second": requests_per_second,
+            "serve.speedup_rate": speedup,
+            "serve.warm_hit_rate": stats["warm_hit_rate"],
+            "cache.store_hit_rate": stats["store_hit_rate"],
+            "serve.nets": float(total_nets),
+        },
+        name="serve",
+        config={
+            "unique_nets": UNIQUE_NETS,
+            "requests": REQUESTS,
+            "nets_per_request": NETS_PER_REQUEST,
+            "workers": 2,
+        },
+    )
+    ledger_path = obs.append_record(record, RESULTS_DIR / "ledger.jsonl")
+    print(f"[run {record['run_id']} appended to {ledger_path}]")

@@ -12,6 +12,13 @@ gen-nets    Generate a synthetic ICCAD-15-like workload into a ``.nets`` file.
 compare     Run PatLabor vs SALT vs YSD on a net file and print
             Table III / Table IV style summaries.
 draw        Render a net's Pareto-optimal trees to SVG files.
+serve       Run the routing daemon: a Unix-socket/TCP JSON service over a
+            shared-LUT worker pool with an optional persistent cache store
+            (see ``repro.serve``).
+warm        Pre-populate a persistent cache store from a ``.nets`` file so
+            later runs (and the daemon) start with a warm disk tier.
+cache       Cache-store maintenance: ``cache stats --store FILE`` prints
+            entry counts, file size, and lifetime hit/miss counters.
 obs         Performance-tracking surface over the run ledger:
             ``obs diff <run-a> <run-b>`` (per-metric deltas),
             ``obs check --baseline FILE`` (exit non-zero on regression),
@@ -181,6 +188,106 @@ def _cmd_draw(args: argparse.Namespace) -> int:
             f"{args.prefix}_tree{i}.svg",
         )
     print(f"wrote {len(front) + 1} SVG file(s) with prefix {args.prefix!r}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import RouteServer, ServeConfig
+
+    if not args.socket and not args.host:
+        print("error: pass --socket PATH and/or --host ADDR", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        socket_path=args.socket or None,
+        host=args.host or None,
+        port=args.port,
+        workers=args.workers,
+        method=args.method,
+        cache_mode=None if args.cache == "off" else args.cache,
+        cache_entries=args.cache_entries,
+        store_path=args.store or None,
+        use_default_lut=not args.no_lut,
+    )
+    server = RouteServer(config)
+
+    async def run() -> None:
+        await server.start()
+        endpoints = []
+        if config.socket_path:
+            endpoints.append(f"unix:{config.socket_path}")
+        if config.host is not None:
+            endpoints.append(f"tcp:{config.host}:{server.tcp_port}")
+        print(
+            f"serving on {' and '.join(endpoints)} "
+            f"({config.workers} worker(s), cache={args.cache}, "
+            f"store={config.store_path or 'off'})",
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    stats = server.stats()
+    print(
+        f"served {stats['nets']} net(s) over {stats['requests']} request(s); "
+        f"warm_hit_rate={stats['warm_hit_rate']:.3f}"
+    )
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    from .core.batch import route_batch
+    from .core.patlabor import PatLaborConfig
+    from .io.nets_format import load_nets
+
+    nets = load_nets(args.nets)
+    result = route_batch(
+        nets,
+        config=PatLaborConfig(),
+        jobs=args.jobs,
+        use_cache=True,
+        method=args.method,
+        cache_mode=args.cache,
+        cache_store=args.store,
+    )
+    from .core.cache_store import PersistentStore
+
+    store = PersistentStore(args.store, readonly=True)
+    print(
+        f"warmed {args.store} from {len(nets)} net(s) in "
+        f"{result.seconds:.2f}s: {len(store)} entr(y/ies) on disk, "
+        f"cache_hit_rate={result.cache_hit_rate:.3f}"
+    )
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .core.cache_store import PersistentStore
+
+    store = PersistentStore(args.store, readonly=True)
+    if not store.path.exists():
+        print(f"error: no store at {args.store}", file=sys.stderr)
+        return 1
+    stats = store.stats()
+    if not stats["entries"] and not stats["healthy"]:
+        print(f"error: {args.store} is unreadable (corrupt store?)",
+              file=sys.stderr)
+        return 1
+    print(f"store     {stats['path']}")
+    print(f"healthy   {stats['healthy']}")
+    print(f"entries   {stats['entries']}")
+    print(f"size      {stats['size_bytes']} bytes")
+    print(
+        f"lifetime  hits={stats['total_hits']} misses={stats['total_misses']} "
+        f"puts={stats['total_puts']}"
+    )
+    total = int(stats["total_hits"]) + int(stats["total_misses"])
+    rate = int(stats["total_hits"]) / total if total else 0.0
+    print(f"hit rate  {rate:.3f} (over {total} flushed lookup(s))")
     return 0
 
 
@@ -387,6 +494,65 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument("--ledger", default=default_ledger)
     l.add_argument("-n", "--count", type=int, default=20)
     l.set_defaults(func=_cmd_obs_ledger)
+
+    p = sub.add_parser(
+        "serve", help="run the routing daemon (Unix socket / TCP JSON service)"
+    )
+    p.add_argument("--socket", help="Unix socket path to listen on")
+    p.add_argument("--host", help="TCP address to listen on (e.g. 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="routing worker processes"
+    )
+    p.add_argument(
+        "--method", default="patlabor",
+        help="router name from the repro.engine registry",
+    )
+    p.add_argument(
+        "--cache", default="symmetry",
+        choices=["off", "translation", "symmetry"],
+        help="per-worker in-memory cache mode (default: symmetry)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=100_000,
+        help="per-worker in-memory LRU capacity",
+    )
+    p.add_argument(
+        "--store", help="persistent SQLite cache store shared by all workers"
+    )
+    p.add_argument(
+        "--no-lut", action="store_true",
+        help="do not preload the bundled lookup table",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "warm", help="pre-populate a persistent cache store from a .nets file"
+    )
+    p.add_argument("nets", help=".nets input file")
+    p.add_argument("--store", required=True, help="SQLite store to populate")
+    p.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    p.add_argument(
+        "--method", default="patlabor",
+        help="router name from the repro.engine registry",
+    )
+    p.add_argument(
+        "--cache", default="symmetry", choices=["translation", "symmetry"],
+        help="cache mode used while warming (default: symmetry)",
+    )
+    _add_profile_flags(p)
+    p.set_defaults(func=_cmd_warm)
+
+    p = sub.add_parser("cache", help="cache-store maintenance")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    s = cache_sub.add_parser(
+        "stats", help="print entry counts, size, and lifetime hit/miss totals"
+    )
+    s.add_argument("--store", required=True, help="SQLite store to inspect")
+    s.set_defaults(func=_cmd_cache_stats)
     return parser
 
 

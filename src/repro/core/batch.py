@@ -9,11 +9,13 @@ throughput layer a production deployment needs:
   in front (``cache_mode=...``).
 * :class:`BatchResult` — per-net Pareto sets plus throughput statistics.
 
-Worker processes rebuild their own engine via
-:func:`repro.engine.build.build_engine` (routers hold lookup tables and
-RNG state that should not be shared), so only nets and plain objective
-results cross process boundaries; trees are reconstructed lazily on
-demand when ``with_trees`` is set.
+Worker processes build their engine **once, at pool initialization** via
+:func:`repro.engine.build.build_engine` (a pool ``initializer`` stores it
+in a module global), so the engine — lookup tables, cache, RNG state —
+is never re-pickled per task: only nets and plain objective results
+cross process boundaries. With ``cache_store`` set, every worker shares
+one persistent disk tier, so canonical patterns solved by one worker (or
+a previous run) are disk hits for all the others.
 
 When observability is enabled (:func:`repro.obs.enable`) the run is
 profiled end to end: per-net route times, per-worker throughput and queue
@@ -63,7 +65,11 @@ class BatchResult:
 
 
 def _build_batch_engine(
-    config: PatLaborConfig, use_cache: bool, method: str, cache_mode: str
+    config: PatLaborConfig,
+    use_cache: bool,
+    method: str,
+    cache_mode: str,
+    cache_store: Optional[str] = None,
 ):
     """The per-process engine stack: validation, cache, observability.
 
@@ -81,18 +87,21 @@ def _build_batch_engine(
             router=method,
             router_options=options,
             cache=cache_mode if use_cache else None,
+            cache_store=cache_store if use_cache else None,
         )
     )
 
 
-def _route_serial(
-    nets: Sequence[Net],
-    config: PatLaborConfig,
-    use_cache: bool,
-    method: str = "patlabor",
-    cache_mode: str = "translation",
+def _route_with(
+    router, nets: Sequence[Net]
 ) -> Tuple[Dict[str, List[Solution]], int, int]:
-    router = _build_batch_engine(config, use_cache, method, cache_mode)
+    """Route ``nets`` through an assembled engine, counting cache deltas.
+
+    Hit/miss counts are reported as *deltas* over the call (the engine may
+    be a pool-resident instance that already served earlier tasks).
+    """
+    hits0 = getattr(router, "hits", 0) + getattr(router, "store_hits", 0)
+    misses0 = getattr(router, "misses", 0)
     fronts: Dict[str, List[Solution]] = {}
     profiling = obs.enabled()
     for i, net in enumerate(nets):
@@ -103,19 +112,44 @@ def _route_serial(
             timer_observe("batch.net_seconds", time.perf_counter() - t0)
         else:
             fronts[name] = router.route(net)
-    hits = getattr(router, "hits", 0)
-    misses = getattr(router, "misses", 0)
+    hits = getattr(router, "hits", 0) + getattr(router, "store_hits", 0) - hits0
+    misses = getattr(router, "misses", 0) - misses0
     return fronts, hits, misses
 
 
-def _worker(args):
-    """Process-pool worker: returns payload-free fronts (trees don't cross
-    process boundaries cheaply; objectives are what batch callers need),
-    plus its metrics snapshot / trace events / log events when the parent
-    has the corresponding observability layer enabled."""
-    nets, config_dict, use_cache, method, cache_mode, obs_flags, dispatched_at = args
+def _route_serial(
+    nets: Sequence[Net],
+    config: PatLaborConfig,
+    use_cache: bool,
+    method: str = "patlabor",
+    cache_mode: str = "translation",
+    cache_store: Optional[str] = None,
+) -> Tuple[Dict[str, List[Solution]], int, int]:
+    router = _build_batch_engine(config, use_cache, method, cache_mode, cache_store)
+    try:
+        return _route_with(router, nets)
+    finally:
+        close = getattr(router, "close", None)
+        if callable(close):
+            close()
+
+
+#: Pool-resident worker state, populated once per process by
+#: :func:`_init_worker` — the engine (and its lookup table / cache) lives
+#: here instead of being re-pickled inside every task tuple.
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _init_worker(config_dict, use_cache, method, cache_mode, cache_store, obs_flags):
+    """Pool initializer: build the engine once per worker process.
+
+    Runs in the child before any task. The engine stack (with its lookup
+    table and cache tiers) is constructed here and kept in a module
+    global, so tasks only ship nets; on fork start methods the lookup
+    table pages loaded by the parent are inherited copy-on-write and the
+    per-worker build is effectively free.
+    """
     profiling, tracing, logging_events = obs_flags
-    started_at = time.time()
     registry = obs.get_registry()
     collector = obs.get_trace_collector()
     event_log = obs.get_event_log()
@@ -131,9 +165,43 @@ def _worker(args):
         collector.enable()
     if logging_events:
         event_log.enable()
-    t0 = time.perf_counter()
     config = PatLaborConfig(**config_dict)
-    fronts, hits, misses = _route_serial(nets, config, use_cache, method, cache_mode)
+    _POOL_STATE["engine"] = _build_batch_engine(
+        config, use_cache, method, cache_mode, cache_store
+    )
+    _POOL_STATE["obs_flags"] = obs_flags
+
+
+def _worker(args):
+    """Process-pool worker: routes one shard on the pool-resident engine.
+
+    Returns payload-free fronts (trees don't cross process boundaries
+    cheaply; objectives are what batch callers need), plus its metrics
+    snapshot / trace events / log events when the parent has the
+    corresponding observability layer enabled. The engine itself comes
+    from :data:`_POOL_STATE` — built once in :func:`_init_worker`, never
+    shipped inside the task tuple.
+    """
+    nets, dispatched_at = args
+    profiling, tracing, logging_events = _POOL_STATE["obs_flags"]
+    started_at = time.time()
+    registry = obs.get_registry()
+    collector = obs.get_trace_collector()
+    event_log = obs.get_event_log()
+    if profiling or tracing or logging_events:
+        # Drop initializer-time noise so what is sent back covers exactly
+        # this task's share.
+        registry.reset()
+        collector.clear()
+        event_log.clear()
+    t0 = time.perf_counter()
+    engine = _POOL_STATE["engine"]
+    fronts, hits, misses = _route_with(engine, nets)
+    # Pool teardown terminates workers without running atexit hooks, so
+    # persist the store's lifetime counters while we still can.
+    store = getattr(engine, "store", None)
+    if store is not None:
+        store.flush_stats()
     slim = {
         name: [(w, d, None) for w, d, _t in front]
         for name, front in fronts.items()
@@ -141,9 +209,6 @@ def _worker(args):
     stats = None
     if profiling or tracing or logging_events:
         elapsed = time.perf_counter() - t0
-        registry.disable()
-        collector.disable()
-        event_log.disable()
         stats = {
             "nets": len(slim),
             "seconds": elapsed,
@@ -164,6 +229,7 @@ def route_batch(
     use_cache: bool = True,
     method: str = "patlabor",
     cache_mode: str = "translation",
+    cache_store: Optional[str] = None,
 ) -> BatchResult:
     """Route every net; returns per-net Pareto sets keyed by net name.
 
@@ -171,16 +237,20 @@ def route_batch(
     (``"patlabor"``, ``"salt"``, ``"pareto-ks"``, ...); each worker
     assembles its own engine stack from that name, so there is no
     batch-local method table. ``cache_mode`` selects the cache's
-    canonicalization (``"translation"`` or ``"symmetry"``) when
-    ``use_cache`` is set.
+    canonicalization (``"translation"`` or ``"symmetry"``) and
+    ``cache_store`` optionally adds a persistent disk tier shared by
+    every worker (both only when ``use_cache`` is set; disk hits count
+    into :attr:`BatchResult.cache_hits`).
 
     With ``jobs > 1`` the nets are sharded across processes and the
     returned solutions carry ``None`` payloads (objectives only); run
-    serially when the trees themselves are needed. Workers inherit
-    whichever observability layers are enabled in the parent — metrics
-    registry, Chrome-trace capture, structured event log — and ship their
-    buffers back for merging, so cross-process runs still produce one
-    registry, one trace, and one chronological event stream.
+    serially when the trees themselves are needed. Each worker builds its
+    engine exactly once, in the pool initializer — tasks carry nets, not
+    engine state. Workers inherit whichever observability layers are
+    enabled in the parent — metrics registry, Chrome-trace capture,
+    structured event log — and ship their buffers back for merging, so
+    cross-process runs still produce one registry, one trace, and one
+    chronological event stream.
     """
     config = config or PatLaborConfig()
     profiling = obs.enabled()
@@ -197,7 +267,7 @@ def route_batch(
             return result
         if jobs <= 1:
             fronts, hits, misses = _route_serial(
-                nets, config, use_cache, method, cache_mode
+                nets, config, use_cache, method, cache_mode, cache_store
             )
             result = BatchResult(
                 fronts=fronts,
@@ -219,19 +289,20 @@ def route_batch(
             shards[i % jobs].append(net)
         dispatched_at = time.time()
         obs_flags = (profiling, tracing, logging_events)
-        payload = [
-            (shard, asdict(config), use_cache, method, cache_mode,
-             obs_flags, dispatched_at)
-            for shard in shards
-            if shard
-        ]
+        initargs = (
+            asdict(config), use_cache, method, cache_mode, cache_store,
+            obs_flags,
+        )
+        payload = [(shard, dispatched_at) for shard in shards if shard]
         fronts: Dict[str, List[Solution]] = {}
         hits = misses = 0
         workers: List[Dict[str, float]] = []
         registry = obs.get_registry()
         collector = obs.get_trace_collector()
         event_log = obs.get_event_log()
-        with multiprocessing.Pool(processes=jobs) as pool:
+        with multiprocessing.Pool(
+            processes=jobs, initializer=_init_worker, initargs=initargs
+        ) as pool:
             for slim, h, m, stats in pool.map(_worker, payload):
                 fronts.update(slim)
                 hits += h

@@ -18,6 +18,14 @@ hits by mapping stored trees back into the query frame:
 Eviction is true LRU (hits refresh recency); the ``evictions`` attribute
 and the ``cache.evictions`` counter expose how often capacity bites.
 
+A second, **persistent** tier can sit underneath the LRU: pass ``store=``
+(a :class:`~repro.core.cache_store.PersistentStore` or a path) and every
+memory miss consults the disk store before routing, while every fresh
+solve is appended to it. Disk hits re-enter the LRU, so repeated traffic
+is served from memory; the ``store_hits`` attribute and the
+``cache.store_hits`` / ``cache.store_misses`` counters separate warm-disk
+traffic from genuinely cold solves.
+
 Wraps any :class:`~repro.engine.protocol.Router`; this class *is* the
 cache middleware of :func:`repro.engine.build.build_engine`.
 """
@@ -25,10 +33,12 @@ cache middleware of :func:`repro.engine.build.build_engine`.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, List, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # circular at runtime: engine imports this module
     from ..engine.protocol import RouterCapabilities
+    from .cache_store import PersistentStore
 
 from ..core.pareto import Solution
 from ..geometry.net import Net
@@ -132,6 +142,12 @@ class CachedRouter:
         ``"translation"`` (default) keys on source-relative coordinates;
         ``"symmetry"`` additionally folds the eight dihedral symmetries
         into one entry and undoes the transform on hits.
+    store:
+        Optional persistent tier underneath the LRU — a
+        :class:`~repro.core.cache_store.PersistentStore` or a path to
+        one. Memory misses consult the store before routing; fresh
+        solves are appended to it, so hit rates compound across
+        processes and runs.
     """
 
     def __init__(
@@ -139,18 +155,25 @@ class CachedRouter:
         router: object,
         max_entries: int = 100_000,
         canonicalize: str = "translation",
+        store: Union["PersistentStore", str, Path, None] = None,
     ) -> None:
         if canonicalize not in CANONICALIZE_MODES:
             raise ValueError(
                 f"unknown canonicalize mode {canonicalize!r}; "
                 f"expected one of {CANONICALIZE_MODES}"
             )
+        if isinstance(store, (str, Path)):
+            from .cache_store import PersistentStore
+
+            store = PersistentStore(store)
         self.router = router
         self.max_entries = max_entries
         self.canonicalize = canonicalize
+        self.store = store
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
         self._cache: "OrderedDict[CacheKey, Tuple[Net, GridTransform, List[Solution]]]" = (
             OrderedDict()
         )
@@ -175,8 +198,47 @@ class CachedRouter:
             return canonical_key(net)
         return translation_key(net), IDENTITY
 
+    def _serve_entry(
+        self,
+        entry: Tuple[Net, GridTransform, List[Solution]],
+        net: Net,
+        t_query: GridTransform,
+    ) -> List[Solution]:
+        """Map a cached entry into the query net's frame (exact; see above)."""
+        base_net, t_store, solutions = entry
+        if t_store == t_query:
+            dx = net.source.x - base_net.source.x
+            dy = net.source.y - base_net.source.y
+            if dx == 0.0 and dy == 0.0 and base_net.key() == net.key():
+                return list(solutions)
+            with span("cache.translate"):
+                return [
+                    (w, d, _translate_tree(tree, net, dx, dy))
+                    for w, d, tree in solutions
+                ]
+        with span("cache.transform"):
+            return [
+                (w, d, _map_tree(tree, base_net, t_store, t_query, net))
+                for w, d, tree in solutions
+            ]
+
+    def _insert(
+        self, key: CacheKey, entry: Tuple[Net, GridTransform, List[Solution]]
+    ) -> None:
+        """Install ``entry`` in the LRU, evicting only for genuinely new keys."""
+        if key not in self._cache and len(self._cache) >= self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+            counter_add("cache.evictions")
+        self._cache[key] = entry
+
     def route(self, net: Net) -> List[Solution]:
-        """Pareto set of ``net``, served from cache for canonical copies."""
+        """Pareto set of ``net``, served from cache for canonical copies.
+
+        Lookup order: in-memory LRU, then the persistent store (when one
+        is attached; disk hits are promoted back into the LRU), then the
+        wrapped router — whose result is installed in both tiers.
+        """
         with span("cache.key"):
             key, t_query = self._key(net)
         entry = self._cache.get(key)
@@ -184,41 +246,50 @@ class CachedRouter:
             self._cache.move_to_end(key)
             self.hits += 1
             counter_add("cache.hits")
-            base_net, t_store, solutions = entry
-            if t_store == t_query:
-                dx = net.source.x - base_net.source.x
-                dy = net.source.y - base_net.source.y
-                if dx == 0.0 and dy == 0.0 and base_net.key() == net.key():
-                    return list(solutions)
-                with span("cache.translate"):
-                    return [
-                        (w, d, _translate_tree(tree, net, dx, dy))
-                        for w, d, tree in solutions
-                    ]
-            with span("cache.transform"):
-                return [
-                    (w, d, _map_tree(tree, base_net, t_store, t_query, net))
-                    for w, d, tree in solutions
-                ]
+            return self._serve_entry(entry, net, t_query)
+        if self.store is not None:
+            with span("cache.store_get"):
+                stored = self.store.get(key)
+            if stored is not None:
+                self.store_hits += 1
+                counter_add("cache.store_hits")
+                self._insert(key, stored)
+                return self._serve_entry(stored, net, t_query)
+            counter_add("cache.store_misses")
         self.misses += 1
         counter_add("cache.misses")
         solutions = self.router.route(net)
-        if key not in self._cache and len(self._cache) >= self.max_entries:
-            self._cache.popitem(last=False)
-            self.evictions += 1
-            counter_add("cache.evictions")
-        self._cache[key] = (net, t_query, list(solutions))
+        self._insert(key, (net, t_query, list(solutions)))
+        if self.store is not None:
+            with span("cache.store_put"):
+                self.store.put(key, net, t_query, list(solutions))
         return solutions
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of calls served from cache (0.0 before any call)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of calls served from either cache tier (0.0 when idle)."""
+        total = self.hits + self.store_hits + self.misses
+        return (self.hits + self.store_hits) / total if total else 0.0
+
+    @property
+    def store_hit_rate(self) -> float:
+        """Fraction of store lookups (memory misses) served from disk."""
+        looked_up = self.store_hits + self.misses
+        return self.store_hits / looked_up if looked_up else 0.0
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss/eviction statistics."""
+        """Drop every LRU entry and reset hit/miss/eviction statistics.
+
+        The persistent store (when attached) is append-only and is *not*
+        cleared — delete the file to reset it.
+        """
         self._cache.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
+
+    def close(self) -> None:
+        """Flush and release the persistent store, if one is attached."""
+        if self.store is not None:
+            self.store.close()

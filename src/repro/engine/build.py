@@ -45,6 +45,14 @@ class EngineSpec:
         eight dihedral symmetries, serving mirrored nets from one entry).
     cache_entries:
         LRU capacity of the cache layer.
+    cache_store:
+        Optional path to a persistent
+        :class:`~repro.core.cache_store.PersistentStore` SQLite file
+        installed underneath the LRU (requires ``cache`` to be set);
+        disk hits compound across runs and processes.
+    cache_store_readonly:
+        Open the persistent store without write intent (pre-warmed
+        read-mostly deployments).
     validate:
         Install :class:`~repro.engine.middleware.ValidatingRouter`.
     observe:
@@ -56,6 +64,8 @@ class EngineSpec:
     router_options: Dict[str, Any] = field(default_factory=dict)
     cache: Optional[str] = None
     cache_entries: int = 100_000
+    cache_store: Optional[str] = None
+    cache_store_readonly: bool = False
     validate: bool = True
     observe: bool = True
 
@@ -76,16 +86,29 @@ def build_engine(spec: Union[EngineSpec, str, None] = None) -> Router:
         raise ValueError(
             f"unknown cache mode {spec.cache!r}; expected one of {CACHE_MODES}"
         )
+    if spec.cache_store is not None and spec.cache is None:
+        raise ValueError(
+            "cache_store requires a cache mode; set EngineSpec.cache to "
+            "'translation' or 'symmetry'"
+        )
     engine: Router = create_router(spec.router, **spec.router_options)
     if spec.observe:
         engine = ObservedRouter(engine)
     if spec.cache is not None:
         from ..core.cache import CachedRouter
 
+        store = None
+        if spec.cache_store is not None:
+            from ..core.cache_store import PersistentStore
+
+            store = PersistentStore(
+                spec.cache_store, readonly=spec.cache_store_readonly
+            )
         engine = CachedRouter(
             engine,
             max_entries=spec.cache_entries,
             canonicalize=spec.cache,
+            store=store,
         )
     if spec.validate:
         engine = ValidatingRouter(engine)

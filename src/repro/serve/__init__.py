@@ -1,0 +1,26 @@
+"""``repro.serve`` — routing as a service.
+
+A persistent daemon in front of the :mod:`repro.engine` stack: an asyncio
+JSON-line front-end (Unix socket and/or TCP), a process pool whose
+workers build their engine — lookup table included — exactly once, and
+the shared persistent cache tier (:mod:`repro.core.cache_store`) that
+makes hit rates compound across runs. Start one with ``repro serve``,
+talk to it with :class:`~repro.serve.client.ServeClient`, smoke-test an
+installation with ``python -m repro.serve.smoke``.
+"""
+
+from __future__ import annotations
+
+from .client import RoutedNet, ServeClient, ServeError
+from .pool import WorkerSpec
+from .server import RouteServer, ServeConfig, ServerThread
+
+__all__ = [
+    "RoutedNet",
+    "RouteServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "WorkerSpec",
+]

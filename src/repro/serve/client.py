@@ -1,0 +1,162 @@
+"""A small synchronous client for the routing daemon.
+
+Speaks the JSON-line protocol of :mod:`repro.serve.server` over a Unix
+socket or TCP. One connection, blocking request/response — the shape CLI
+tools, tests, and the benchmark harness want; high-fan-out callers can
+open several clients (the daemon multiplexes connections).
+
+Usage::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient(socket_path="/tmp/patlabor.sock") as client:
+        client.ping()
+        results = client.route(nets)           # [(name, [(w, d, None)...])]
+        print(client.stats()["requests_per_second"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.pareto import Solution
+from ..exceptions import ReproError, SerializationError
+from ..geometry.net import Net
+from .protocol import (
+    decode_message,
+    encode_message,
+    net_to_payload,
+    result_front,
+)
+
+#: One routed net as returned by :meth:`ServeClient.route`.
+RoutedNet = Tuple[str, List[Solution]]
+
+
+class ServeError(ReproError):
+    """An ``ok: false`` response (or a broken connection) from the daemon."""
+
+
+class ServeClient:
+    """Blocking JSON-line client for one :class:`~repro.serve.server.RouteServer`.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket endpoint (mutually exclusive with ``host``).
+    host / port:
+        TCP endpoint.
+    timeout:
+        Per-response socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if (socket_path is None) == (host is None):
+            raise ValueError("pass exactly one of socket_path or host/port")
+        self._sock: socket.socket
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("TCP endpoint needs a port")
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fp = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------ transport
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; block for (and validate) its response."""
+        self._next_id += 1
+        message: Dict[str, Any] = {"id": self._next_id, "op": op}
+        message.update(fields)
+        self._fp.write(encode_message(message))
+        self._fp.flush()
+        line = self._fp.readline()
+        if not line:
+            raise ServeError("connection closed by server")
+        try:
+            response = decode_message(line)
+        except SerializationError as exc:
+            raise ServeError(f"undecodable response: {exc}") from exc
+        if response.get("id") != message["id"]:
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {message['id']}"
+            )
+        if not response.get("ok"):
+            raise ServeError(str(response.get("error", "unknown server error")))
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._fp.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ ops
+
+    def ping(self) -> bool:
+        """True when the daemon answers."""
+        return bool(self.request("ping").get("pong"))
+
+    def route(
+        self, nets: Sequence[Net], *, with_trees: bool = False
+    ) -> List[RoutedNet]:
+        """Route ``nets`` in one batched request; results in input order.
+
+        Each result is ``(name, [(w, d, tree_or_None), ...])``; trees are
+        materialised only when ``with_trees`` is set (they ride the wire
+        as point/parent arrays and validate against the query net).
+        """
+        response = self.request(
+            "route",
+            nets=[net_to_payload(n) for n in nets],
+            with_trees=with_trees,
+        )
+        results = response.get("results", [])
+        if len(results) != len(nets):
+            raise ServeError(
+                f"server answered {len(results)} results for {len(nets)} nets"
+            )
+        out: List[RoutedNet] = []
+        for net, payload in zip(nets, results):
+            front = result_front(payload, net if with_trees else None)
+            out.append((str(payload.get("name", net.name)), front))
+        return out
+
+    def route_tiers(self, nets: Sequence[Net]) -> Iterator[str]:
+        """The serving tier (``memory``/``store``/``routed``) per net."""
+        response = self.request(
+            "route", nets=[net_to_payload(n) for n in nets]
+        )
+        for payload in response.get("results", []):
+            yield str(payload.get("served", "routed"))
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's live throughput/cache statistics."""
+        return dict(self.request("stats").get("stats", {}))
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (the response confirms it is stopping)."""
+        self.request("shutdown")

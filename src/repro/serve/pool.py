@@ -1,0 +1,138 @@
+"""Worker-pool side of the routing service: one resident engine per worker.
+
+The daemon dispatches net payloads to a ``ProcessPoolExecutor`` whose
+workers run the functions in this module. The engine — router, lookup
+table, cache tiers — is built **exactly once per worker**, inside
+:func:`init_worker` (the pool initializer), and parked in a module
+global. Tasks then carry only the net payload; nothing heavy is ever
+re-pickled per request.
+
+The lookup table is additionally pre-loaded in the *parent* before the
+pool is created (:func:`preload_shared_state`), so on fork start methods
+every worker inherits the parsed table copy-on-write and ``init_worker``
+finds it already cached; on spawn methods each worker loads it once from
+disk. Either way: once per worker, never per task.
+
+Every worker resolves its router through the standard
+:func:`repro.engine.build.build_engine` middleware stack, so serve
+traffic gets the same validation, canonicalizing cache (optionally
+backed by the shared persistent store), and observability as every other
+entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..engine.build import EngineSpec, build_engine
+from ..engine.protocol import Router
+from .protocol import net_from_payload, result_to_payload
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to assemble its engine stack.
+
+    A frozen, pickle-friendly description shipped once through the pool
+    initializer (never per task). ``use_default_lut`` arms PatLabor with
+    the shipped degree-4..6 table; ``store_path`` attaches the shared
+    persistent cache tier.
+    """
+
+    method: str = "patlabor"
+    cache_mode: Optional[str] = "symmetry"
+    cache_entries: int = 100_000
+    store_path: Optional[str] = None
+    use_default_lut: bool = True
+    router_options: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Router:
+        """Assemble the engine stack this spec describes."""
+        options: Dict[str, Any] = dict(self.router_options)
+        if self.use_default_lut and self.method == "patlabor":
+            from ..lut.default import default_table
+
+            options.setdefault("lut", default_table())
+        return build_engine(
+            EngineSpec(
+                router=self.method,
+                router_options=options,
+                cache=self.cache_mode,
+                cache_entries=self.cache_entries,
+                cache_store=self.store_path,
+            )
+        )
+
+
+#: The worker-resident engine, built once by :func:`init_worker`.
+_ENGINE: Optional[Router] = None
+
+
+def preload_shared_state(spec: WorkerSpec) -> None:
+    """Load fork-shareable read-only state in the parent process.
+
+    Called by the server before creating the pool: parsing the ~2 MB
+    lookup-table JSON here means fork-started workers inherit the parsed
+    table copy-on-write instead of re-reading it, and the first request
+    never stalls behind a per-worker load.
+    """
+    if spec.use_default_lut and spec.method == "patlabor":
+        from ..lut.default import default_table
+
+        default_table()
+
+
+def init_worker(spec: WorkerSpec) -> None:
+    """Pool initializer: build this worker's engine once, park it globally."""
+    global _ENGINE
+    _ENGINE = spec.build()
+
+
+def route_payload(payload: Dict[str, Any], with_trees: bool = False) -> Dict[str, Any]:
+    """Route one net payload on the resident engine (runs in a worker).
+
+    Returns the response entry for this net plus accounting the server
+    aggregates: which cache tier served it (``memory`` / ``store`` /
+    ``routed``, derived from the engine's counter deltas) and the worker
+    wall time.
+    """
+    if _ENGINE is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool used before init_worker")
+    engine = _ENGINE
+    net = net_from_payload(payload)
+    mem0 = int(getattr(engine, "hits", 0))
+    store0 = int(getattr(engine, "store_hits", 0))
+    t0 = time.perf_counter()
+    front = engine.route(net)
+    seconds = time.perf_counter() - t0
+    if int(getattr(engine, "hits", 0)) > mem0:
+        served = "memory"
+    elif int(getattr(engine, "store_hits", 0)) > store0:
+        served = "store"
+    else:
+        served = "routed"
+    out = result_to_payload(
+        net.name or "net", front, served, with_trees=with_trees
+    )
+    out["seconds"] = seconds
+    return out
+
+
+def flush_worker() -> Dict[str, float]:
+    """Flush the resident engine's persistent tier; return cache counters.
+
+    The server broadcasts this at shutdown so every worker's session
+    hit/miss statistics land in the store's meta table before the pool
+    dies, keeping ``repro cache stats`` truthful.
+    """
+    counters = {
+        "hits": float(getattr(_ENGINE, "hits", 0)),
+        "store_hits": float(getattr(_ENGINE, "store_hits", 0)),
+        "misses": float(getattr(_ENGINE, "misses", 0)),
+    }
+    close = getattr(_ENGINE, "close", None)
+    if callable(close):
+        close()
+    return counters

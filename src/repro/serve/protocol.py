@@ -1,0 +1,146 @@
+"""Wire format of the routing service: newline-delimited JSON messages.
+
+One request or response per line, UTF-8 JSON — trivially debuggable with
+``socat`` / ``nc`` and language-agnostic. Floats ride JSON's
+``repr``-round-tripping encoder, so objectives and tree coordinates cross
+the wire bit-identically (the same exactness contract as the persistent
+cache tier; see ``docs/numerics.md``).
+
+Requests (client → server)::
+
+    {"id": 1, "op": "ping"}
+    {"id": 2, "op": "route", "nets": [NET, ...], "with_trees": false}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "shutdown"}
+
+where ``NET`` is ``{"name": str, "pins": [[x, y], ...]}`` with the source
+at index 0 — exactly :class:`~repro.geometry.net.Net`'s pin convention.
+
+Responses (server → client) echo the ``id`` and carry ``"ok"``::
+
+    {"id": 2, "ok": true, "results": [RESULT, ...]}
+    {"id": 3, "ok": true, "stats": {...}}
+    {"id": 9, "ok": false, "error": "why"}
+
+``RESULT`` is ``{"name", "front": [[w, d], ...], "served", "trees"?}``:
+``served`` tags the tier that produced the front (``"memory"`` /
+``"store"`` / ``"routed"``) and ``trees`` (only when requested) holds
+``{"points": [[x, y], ...], "parent": [...]}`` per solution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.pareto import Solution
+from ..exceptions import SerializationError
+from ..geometry.net import Net
+from ..routing.tree import RoutingTree
+
+#: Operations a server understands; anything else is rejected politely.
+KNOWN_OPS = ("ping", "route", "stats", "shutdown")
+
+#: Hard cap on nets per single route request (a DoS guard, not a batching
+#: hint — clients may send many requests back to back on one connection).
+MAX_NETS_PER_REQUEST = 10_000
+
+
+def encode_message(obj: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form (JSON line, UTF-8)."""
+    return (json.dumps(obj) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line back into a message dict.
+
+    Raises :class:`~repro.exceptions.SerializationError` on anything that
+    is not a single JSON object — the server turns that into an ``ok:
+    false`` response instead of dying.
+    """
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"undecodable message: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise SerializationError(
+            f"message must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def net_to_payload(net: Net) -> Dict[str, Any]:
+    """One net as its wire payload (source first, like ``Net.pins``)."""
+    return {"name": net.name, "pins": [[p.x, p.y] for p in net.pins]}
+
+
+def net_from_payload(payload: Dict[str, Any]) -> Net:
+    """Rebuild a :class:`~repro.geometry.net.Net` from its wire payload.
+
+    Raises :class:`~repro.exceptions.SerializationError` on malformed
+    payloads (missing pins, non-numeric coordinates); geometric
+    validation (degree, duplicates, finiteness) is Net's own and
+    surfaces as :class:`~repro.exceptions.InvalidNetError`.
+    """
+    if not isinstance(payload, dict) or "pins" not in payload:
+        raise SerializationError(f"net payload needs 'pins': {payload!r}")
+    pins = payload["pins"]
+    if not isinstance(pins, list) or not pins:
+        raise SerializationError("net payload 'pins' must be a non-empty list")
+    try:
+        points = tuple((float(x), float(y)) for x, y in pins)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed pin in {pins!r}") from exc
+    return Net(pins=points, name=str(payload.get("name", "")))  # type: ignore[arg-type]
+
+
+def tree_to_payload(tree: RoutingTree) -> Dict[str, Any]:
+    """One routing tree as its wire payload (points + parent array)."""
+    return {
+        "points": [[p.x, p.y] for p in tree.points],
+        "parent": list(tree.parent),
+    }
+
+
+def tree_from_payload(net: Net, payload: Dict[str, Any]) -> RoutingTree:
+    """Rebuild (and validate) a tree for ``net`` from its wire payload."""
+    return RoutingTree.from_parent(net, payload["points"], payload["parent"])
+
+
+def result_to_payload(
+    name: str,
+    front: Sequence[Solution],
+    served: str,
+    *,
+    with_trees: bool = False,
+) -> Dict[str, Any]:
+    """One routed net's response entry (objectives, tier, optional trees)."""
+    out: Dict[str, Any] = {
+        "name": name,
+        "served": served,
+        "front": [[w, d] for w, d, _tree in front],
+    }
+    if with_trees:
+        out["trees"] = [
+            tree_to_payload(tree) if tree is not None else None
+            for _w, _d, tree in front
+        ]
+    return out
+
+
+def result_front(
+    payload: Dict[str, Any], net: Optional[Net] = None
+) -> List[Solution]:
+    """Decode a response entry back into ``(w, d, tree_or_None)`` triples.
+
+    Trees are only rebuilt when the payload carries them *and* the
+    matching ``net`` is supplied (tree validation needs the pin frame).
+    """
+    objectives = [(float(w), float(d)) for w, d in payload["front"]]
+    trees: List[Optional[RoutingTree]] = [None] * len(objectives)
+    if net is not None and payload.get("trees"):
+        trees = [
+            tree_from_payload(net, t) if t is not None else None
+            for t in payload["trees"]
+        ]
+    return [(w, d, tree) for (w, d), tree in zip(objectives, trees)]

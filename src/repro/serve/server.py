@@ -1,0 +1,387 @@
+"""The routing daemon: an asyncio front-end over a shared-LUT worker pool.
+
+``repro serve`` turns the per-invocation CLI into **routing as a
+service**: one resident process accepts batched JSON route requests over
+a Unix socket and/or TCP, dispatches nets to a ``ProcessPoolExecutor``
+whose workers each built their engine exactly once
+(:mod:`repro.serve.pool`), and answers with Pareto fronts — so repeated
+traffic pays neither interpreter start-up, nor lookup-table parsing, nor
+re-routing of patterns the cache tiers already hold.
+
+Request lifecycle (see ``docs/architecture.md`` for the full diagram)::
+
+    client ── JSON line ──> asyncio reader ──> dispatch ──> worker pool
+                                                             (resident
+                                                              engine)
+    client <── JSON line ── writer  <── gather  <── per-net futures
+
+Throughput accounting rides :mod:`repro.obs` (no-op unless enabled):
+``serve.requests`` / ``serve.nets`` counters, per-tier
+``serve.served_{memory,store,routed}`` counters, a
+``serve.request_seconds`` timer per request, and a
+``serve.queue_depth_max`` gauge. The same numbers are always available —
+obs enabled or not — through the ``stats`` op and :meth:`RouteServer.stats`,
+which is how the benchmark publishes ``serve.requests_per_second`` and
+``cache.store_hit_rate`` to the run ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Dict, List, Optional
+
+from .. import obs
+from ..exceptions import ReproError
+from . import pool
+from .protocol import (
+    KNOWN_OPS,
+    MAX_NETS_PER_REQUEST,
+    decode_message,
+    encode_message,
+)
+
+#: Line-buffer limit for reader streams: route batches and tree payloads
+#: are JSON lines that can far exceed asyncio's 64 KiB default.
+STREAM_LIMIT = 64 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Deployment knobs of one :class:`RouteServer` instance.
+
+    At least one of ``socket_path`` / ``host`` must be set. ``port=0``
+    binds an ephemeral TCP port (read it back from
+    :attr:`RouteServer.tcp_port` — how tests and the smoke job avoid
+    collisions).
+    """
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    workers: int = 2
+    method: str = "patlabor"
+    cache_mode: Optional[str] = "symmetry"
+    cache_entries: int = 100_000
+    store_path: Optional[str] = None
+    use_default_lut: bool = True
+    router_options: Dict[str, Any] = field(default_factory=dict)
+
+    def worker_spec(self) -> pool.WorkerSpec:
+        """The pool-side description derived from this config."""
+        return pool.WorkerSpec(
+            method=self.method,
+            cache_mode=self.cache_mode,
+            cache_entries=self.cache_entries,
+            store_path=self.store_path,
+            use_default_lut=self.use_default_lut,
+            router_options=dict(self.router_options),
+        )
+
+
+class RouteServer:
+    """The daemon: accepts route requests, answers from the worker pool.
+
+    Lifecycle: :meth:`start` (creates the pool and the listeners),
+    :meth:`serve_until_stopped` (runs until a ``shutdown`` request or
+    :meth:`stop`), after which the pool is drained, every worker's
+    persistent-store statistics are flushed, and the sockets are closed.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        if config.socket_path is None and config.host is None:
+            raise ValueError("ServeConfig needs a socket_path and/or a host")
+        self.config = config
+        self.started_at = 0.0
+        self.requests = 0
+        self.nets = 0
+        self.errors = 0
+        self.served: Dict[str, int] = {"memory": 0, "store": 0, "routed": 0}
+        self.queue_depth = 0
+        self.queue_depth_max = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._stop_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Create the worker pool and bind the configured endpoints."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        spec = self.config.worker_spec()
+        # Parse the LUT in the parent first: fork-started workers then
+        # inherit it copy-on-write and initializers are near-instant.
+        pool.preload_shared_state(spec)
+        self._executor = ProcessPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            initializer=pool.init_worker,
+            initargs=(spec,),
+        )
+        if self.config.socket_path is not None:
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._handle_connection,
+                    path=self.config.socket_path,
+                    limit=STREAM_LIMIT,
+                )
+            )
+        if self.config.host is not None:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_connection,
+                    host=self.config.host,
+                    port=self.config.port,
+                    limit=STREAM_LIMIT,
+                )
+            )
+        self.started_at = time.time()
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        """The bound TCP port (None without a TCP listener)."""
+        if self.config.host is None:
+            return None
+        for server in self._servers:
+            for sock in server.sockets or []:
+                name = sock.getsockname()
+                if isinstance(name, tuple) and len(name) >= 2:
+                    return int(name[1])
+        return None
+
+    def stop(self) -> None:
+        """Ask :meth:`serve_until_stopped` to wind the daemon down."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve requests until :meth:`stop` (or a ``shutdown`` request)."""
+        if self._stop_event is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self._executor is not None:
+            # Best-effort: ask workers to flush their persistent-store
+            # statistics now (their atexit hooks cover stragglers).
+            try:
+                for _ in range(max(1, self.config.workers)):
+                    self._executor.submit(pool.flush_worker).result(timeout=10)
+            except Exception:
+                pass
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------- handlers
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: serve JSON lines until EOF."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_message(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if response.get("stopping"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels handlers still blocked in
+            # readline(); treat it as EOF. Ending the task *normally*
+            # matters: on 3.11 the streams machinery logs a cancelled
+            # handler task as "Exception in callback" noise.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (  # pragma: no cover
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                pass
+
+    async def _handle_message(self, line: bytes) -> Dict[str, Any]:
+        """Decode, dispatch, and account one request line."""
+        t0 = time.perf_counter()
+        request_id: Any = None
+        try:
+            message = decode_message(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op not in KNOWN_OPS:
+                raise ReproError(
+                    f"unknown op {op!r}; expected one of {KNOWN_OPS}"
+                )
+            self.requests += 1
+            obs.counter_add("serve.requests")
+            if op == "ping":
+                response: Dict[str, Any] = {"ok": True, "pong": True}
+            elif op == "stats":
+                response = {"ok": True, "stats": self.stats()}
+            elif op == "shutdown":
+                response = {"ok": True, "stopping": True}
+                self.stop()
+            else:
+                response = await self._op_route(message)
+        except ReproError as exc:
+            self.errors += 1
+            obs.counter_add("serve.errors")
+            response = {"ok": False, "error": str(exc)}
+        except Exception as exc:  # defensive: a request must never kill the loop
+            self.errors += 1
+            obs.counter_add("serve.errors")
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        response["id"] = request_id
+        obs.timer_observe("serve.request_seconds", time.perf_counter() - t0)
+        return response
+
+    async def _op_route(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Fan a route request's nets out to the pool; gather in order."""
+        nets = message.get("nets")
+        if not isinstance(nets, list) or not nets:
+            raise ReproError("route request needs a non-empty 'nets' list")
+        if len(nets) > MAX_NETS_PER_REQUEST:
+            raise ReproError(
+                f"route request carries {len(nets)} nets; "
+                f"limit is {MAX_NETS_PER_REQUEST}"
+            )
+        with_trees = bool(message.get("with_trees", False))
+        assert self._loop is not None and self._executor is not None
+        self.queue_depth += len(nets)
+        self.queue_depth_max = max(self.queue_depth_max, self.queue_depth)
+        obs.gauge_max("serve.queue_depth_max", float(self.queue_depth))
+        try:
+            futures = [
+                self._loop.run_in_executor(
+                    self._executor,
+                    partial(pool.route_payload, payload, with_trees),
+                )
+                for payload in nets
+            ]
+            try:
+                results = await asyncio.gather(*futures)
+            except BrokenProcessPool as exc:
+                raise ReproError(f"worker pool died: {exc}") from exc
+        finally:
+            self.queue_depth -= len(nets)
+        self.nets += len(results)
+        obs.counter_add("serve.nets", len(results))
+        for result in results:
+            tier = str(result.get("served", "routed"))
+            self.served[tier] = self.served.get(tier, 0) + 1
+            obs.counter_add(f"serve.served_{tier}")
+        return {"ok": True, "results": list(results)}
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's throughput counters, as served by the ``stats`` op.
+
+        ``warm_hit_rate`` counts nets answered without routing (memory or
+        store tier) over all nets; ``store_hit_rate`` counts disk hits
+        over the nets that missed memory — the number the cross-run cache
+        tier is judged by.
+        """
+        uptime = max(time.time() - self.started_at, 1e-9)
+        memory = self.served.get("memory", 0)
+        store = self.served.get("store", 0)
+        routed = self.served.get("routed", 0)
+        cold_or_store = store + routed
+        stats: Dict[str, Any] = {
+            "uptime_seconds": uptime,
+            "workers": self.config.workers,
+            "requests": self.requests,
+            "nets": self.nets,
+            "errors": self.errors,
+            "requests_per_second": self.requests / uptime,
+            "nets_per_second": self.nets / uptime,
+            "served_memory": memory,
+            "served_store": store,
+            "served_routed": routed,
+            "warm_hit_rate": (memory + store) / self.nets if self.nets else 0.0,
+            "store_hit_rate": store / cold_or_store if cold_or_store else 0.0,
+            "queue_depth": self.queue_depth,
+            "queue_depth_max": self.queue_depth_max,
+            "store_path": self.config.store_path,
+            "method": self.config.method,
+            "cache_mode": self.config.cache_mode,
+        }
+        obs.gauge_set("serve.requests_per_second", stats["requests_per_second"])
+        obs.gauge_set("serve.nets_per_second", stats["nets_per_second"])
+        obs.gauge_set("serve.warm_hit_rate", stats["warm_hit_rate"])
+        obs.gauge_set("serve.store_hit_rate", stats["store_hit_rate"])
+        return stats
+
+
+class ServerThread:
+    """A :class:`RouteServer` on a background thread (tests, benchmarks).
+
+    Drives the server's asyncio loop off the caller's thread::
+
+        with ServerThread(ServeConfig(socket_path=...)) as handle:
+            client = ServeClient(socket_path=...)
+            ...
+
+    Entering the context blocks until the endpoints are bound; leaving it
+    stops the server and joins the thread.
+    """
+
+    def __init__(self, config: ServeConfig, start_timeout: float = 60.0) -> None:
+        self.server = RouteServer(config)
+        self._start_timeout = start_timeout
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:  # surface bind/pool failures
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.server.serve_until_stopped()
+
+        asyncio.run(main())
+
+    def start(self) -> "ServerThread":
+        """Start the thread; block until the server is accepting."""
+        self._thread.start()
+        if not self._ready.wait(self._start_timeout):
+            raise TimeoutError("server did not come up in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Stop the server and join the thread."""
+        loop = self.server._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

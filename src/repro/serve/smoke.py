@@ -1,0 +1,114 @@
+"""End-to-end smoke check of the routing daemon (CI's serve job).
+
+``python -m repro.serve.smoke`` exercises the whole service path the way
+a deployment would: start ``repro serve`` as a real subprocess on a Unix
+socket with a fresh persistent store, route a small workload containing
+repeats over the socket, assert a warm hit rate above zero, and shut the
+daemon down cleanly (exit code 0). Any failed step exits non-zero with a
+diagnostic, so CI catches daemon bit-rot without the full benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..geometry.net import Net, random_net
+from .client import ServeClient, ServeError
+
+#: Unique patterns in the smoke workload; each is queried twice (the
+#: second pass must be served warm).
+UNIQUE_NETS = 5
+
+
+def _workload() -> List[Net]:
+    """Ten nets: five unique degree-4..6 patterns, each repeated once."""
+    rng = random.Random(2025)
+    unique = [
+        random_net(4 + i % 3, rng=rng, name=f"smoke{i}")
+        for i in range(UNIQUE_NETS)
+    ]
+    repeats = [
+        Net(pins=n.pins, name=f"{n.name}/again") for n in unique
+    ]
+    return unique + repeats
+
+
+def _wait_for_socket(path: str, proc: subprocess.Popen, timeout: float = 60.0) -> ServeClient:
+    """Poll until the daemon accepts connections (or its process dies)."""
+    deadline = time.time() + timeout
+    last_error: Optional[Exception] = None
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with code {proc.returncode}"
+            )
+        try:
+            client = ServeClient(socket_path=path, timeout=30.0)
+            client.ping()
+            return client
+        except (OSError, ServeError) as exc:
+            last_error = exc
+            time.sleep(0.2)
+    raise TimeoutError(f"daemon never came up: {last_error}")
+
+
+def main() -> int:
+    """Run the smoke sequence; return a process exit code."""
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        socket_path = str(Path(tmp) / "patlabor.sock")
+        store_path = str(Path(tmp) / "cache.sqlite")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--socket", socket_path,
+                "--store", store_path,
+                "--workers", "2",
+            ],
+        )
+        try:
+            client = _wait_for_socket(socket_path, proc)
+            with client:
+                nets = _workload()
+                results = client.route(nets)
+                if len(results) != len(nets):
+                    print(f"FAIL: {len(results)} results for {len(nets)} nets")
+                    return 1
+                for name, front in results:
+                    if not front:
+                        print(f"FAIL: empty front for {name}")
+                        return 1
+                stats = client.stats()
+                print(
+                    f"routed {stats['nets']} nets in {stats['requests']} "
+                    f"request(s); warm_hit_rate={stats['warm_hit_rate']:.2f} "
+                    f"(memory={stats['served_memory']} "
+                    f"store={stats['served_store']} "
+                    f"routed={stats['served_routed']})"
+                )
+                if stats["warm_hit_rate"] <= 0.0:
+                    print("FAIL: repeated nets produced no warm hits")
+                    return 1
+                client.shutdown()
+            rc = proc.wait(timeout=60)
+            if rc != 0:
+                print(f"FAIL: daemon exited with code {rc} after shutdown")
+                return 1
+        finally:
+            if proc.poll() is None:  # pragma: no cover - only on failure
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        print("serve smoke OK")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

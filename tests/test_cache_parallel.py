@@ -1,10 +1,11 @@
 """Tests for the routing cache and parallel LUT generation."""
 
+import multiprocessing
 import random
 
 import pytest
 
-from repro.core.cache import CachedRouter, translation_key
+from repro.core.cache import CachedRouter, canonical_key, translation_key
 from repro.core.pareto_dw import pareto_frontier
 from repro.core.patlabor import PatLabor
 from repro.geometry.net import Net, random_net
@@ -187,3 +188,63 @@ class TestLruEviction:
     def test_unknown_canonicalize_mode_rejected(self):
         with pytest.raises(ValueError, match="canonicalize"):
             CachedRouter(PatLabor(), canonicalize="rotation-only")
+
+
+def _stress_writer(db: str, seed: int, count: int) -> None:
+    """One writer process: route ``count`` nets and append them all."""
+    from repro.core.cache_store import PersistentStore
+
+    rng = random.Random(seed)
+    store = PersistentStore(db)
+    router = PatLabor()
+    for _ in range(count):
+        net = random_net(4, rng=rng)
+        key, t = canonical_key(net)
+        store.put(key, net, t, list(router.route(net)))
+    store.close()
+
+
+class TestConcurrentStoreWriters:
+    def test_many_writers_one_store(self, tmp_path):
+        # Four processes hammer one store; two share a seed so they race
+        # on identical keys (first writer wins, the rest must not error).
+        from repro.core.cache_store import PersistentStore
+
+        db = str(tmp_path / "stress.sqlite")
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_stress_writer, args=(db, seed, 8))
+            for seed in (101, 101, 202, 303)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+            assert p.exitcode == 0
+        store = PersistentStore(db, readonly=True)
+        assert store.healthy
+        # 3 distinct seeds x 8 nets, minus any canonical collisions.
+        assert 1 <= len(store) <= 24
+        # Every key a fresh writer would produce must now be servable.
+        rng = random.Random(202)
+        for _ in range(8):
+            net = random_net(4, rng=rng)
+            key, _t = canonical_key(net)
+            assert store.get(key) is not None
+        assert store.hits == 8
+
+    def test_route_batch_workers_share_a_store(self, tmp_path):
+        from repro.core.batch import route_batch
+
+        db = str(tmp_path / "batch.sqlite")
+        rng = random.Random(404)
+        nets = [random_net(4, rng=rng, name=f"n{i}") for i in range(12)]
+        cold = route_batch(nets, jobs=2, cache_mode="symmetry", cache_store=db)
+        assert len(cold.fronts) == 12
+        # A second pool over the same store: every net is a store hit.
+        warm = route_batch(nets, jobs=2, cache_mode="symmetry", cache_store=db)
+        assert warm.cache_hit_rate == 1.0
+        for name, front in warm.fronts.items():
+            assert [(w, d) for w, d, _ in front] == [
+                (w, d) for w, d, _ in cold.fronts[name]
+            ]

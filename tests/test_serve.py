@@ -1,0 +1,221 @@
+"""Tests for the routing service (repro.serve): protocol and daemon."""
+
+import random
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.geometry.net import Net, random_net
+from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
+from repro.serve.protocol import (
+    decode_message,
+    encode_message,
+    net_from_payload,
+    net_to_payload,
+    result_front,
+    result_to_payload,
+)
+
+
+class TestProtocol:
+    def test_message_round_trip(self):
+        msg = {"id": 7, "op": "route", "nets": [], "with_trees": True}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            decode_message(b"not json\n")
+        with pytest.raises(SerializationError):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_net_round_trip_is_exact(self):
+        net = random_net(6, rng=random.Random(41), name="exact")
+        back = net_from_payload(net_to_payload(net))
+        assert back.name == net.name
+        assert tuple((p.x, p.y) for p in back.pins) == tuple(
+            (p.x, p.y) for p in net.pins
+        )
+
+    def test_net_payload_validation(self):
+        with pytest.raises(SerializationError):
+            net_from_payload({"name": "no-pins"})
+        with pytest.raises(SerializationError):
+            net_from_payload({"pins": []})
+        with pytest.raises(SerializationError):
+            net_from_payload({"pins": [["x", "y"]]})
+
+    def test_result_round_trip_with_trees(self):
+        from repro.core.patlabor import PatLabor
+
+        net = random_net(5, rng=random.Random(42))
+        front = PatLabor().route(net)
+        payload = result_to_payload(net.name, front, "routed", with_trees=True)
+        back = result_front(payload, net)
+        assert [(w, d) for w, d, _ in back] == [(w, d) for w, d, _ in front]
+        for (_w, _d, tree), (_w2, _d2, orig) in zip(back, front):
+            tree.validate()
+            assert tuple((p.x, p.y) for p in tree.points) == tuple(
+                (p.x, p.y) for p in orig.points
+            )
+
+    def test_result_front_without_net_drops_trees(self):
+        payload = {"front": [[1.0, 2.0]], "trees": [{"points": [], "parent": []}]}
+        assert result_front(payload) == [(1.0, 2.0, None)]
+
+
+@pytest.fixture(scope="module")
+def serve_dir():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        yield Path(tmp)
+
+
+@pytest.fixture(scope="module")
+def daemon(serve_dir):
+    """One shared daemon on TCP + Unix socket with a persistent store."""
+    config = ServeConfig(
+        socket_path=str(serve_dir / "serve.sock"),
+        host="127.0.0.1",
+        port=0,
+        workers=2,
+        store_path=str(serve_dir / "store.sqlite"),
+    )
+    with ServerThread(config) as handle:
+        yield handle.server
+
+
+def _client(daemon):
+    return ServeClient(host="127.0.0.1", port=daemon.tcp_port)
+
+
+class TestDaemon:
+    def test_ping_over_tcp_and_unix(self, daemon):
+        with _client(daemon) as tcp:
+            assert tcp.ping()
+        with ServeClient(socket_path=daemon.config.socket_path) as unix:
+            assert unix.ping()
+
+    def test_route_batch_in_order(self, daemon):
+        nets = [
+            random_net(4 + i % 3, rng=random.Random(50 + i), name=f"n{i}")
+            for i in range(6)
+        ]
+        with _client(daemon) as client:
+            results = client.route(nets)
+        assert [name for name, _ in results] == [n.name for n in nets]
+        for _name, front in results:
+            assert front
+            # Fronts arrive sorted by wirelength (engine contract).
+            assert [w for w, _d, _t in front] == sorted(
+                w for w, _d, _t in front
+            )
+
+    def test_repeats_are_served_warm_and_bit_identical(self, daemon):
+        net = random_net(5, rng=random.Random(60), name="warmme")
+        with _client(daemon) as client:
+            first = client.route([net], with_trees=True)
+            second = client.route([net], with_trees=True)
+            tiers = list(client.route_tiers([net]))
+        assert tiers == ["memory"] or tiers == ["store"]
+        (name1, front1), (name2, front2) = first[0], second[0]
+        assert name1 == name2 == "warmme"
+        for (w1, d1, t1), (w2, d2, t2) in zip(front1, front2):
+            assert (w1, d1) == (w2, d2)
+            t1.validate()
+            t2.validate()
+            assert tuple((p.x, p.y) for p in t1.points) == tuple(
+                (p.x, p.y) for p in t2.points
+            )
+            assert tuple(t1.parent) == tuple(t2.parent)
+
+    def test_dihedral_image_is_warm(self, daemon):
+        net = random_net(5, rng=random.Random(61), name="base")
+        mirrored = Net(
+            pins=tuple((-p.x, p.y) for p in net.pins),  # type: ignore[arg-type]
+            name="mirrored",
+        )
+        with _client(daemon) as client:
+            client.route([net])
+            base = dict(client.route([net]))["base"]
+            served = dict(client.route([mirrored]))["mirrored"]
+        assert [(w, d) for w, d, _ in served] == [(w, d) for w, d, _ in base]
+
+    def test_stats_shape_and_rates(self, daemon):
+        with _client(daemon) as client:
+            client.route([random_net(4, rng=random.Random(62), name="s0")])
+            stats = client.stats()
+        for field in (
+            "requests", "nets", "requests_per_second", "nets_per_second",
+            "served_memory", "served_store", "served_routed",
+            "warm_hit_rate", "store_hit_rate", "queue_depth_max",
+        ):
+            assert field in stats
+        assert stats["nets"] >= 1 and stats["requests"] >= 2
+        assert stats["queue_depth"] == 0
+        assert 0.0 <= stats["warm_hit_rate"] <= 1.0
+
+    def test_unknown_op_is_an_error_response(self, daemon):
+        with _client(daemon) as client:
+            with pytest.raises(ServeError, match="unknown op"):
+                client.request("frobnicate")
+            assert client.ping()  # connection survives the error
+
+    def test_malformed_route_requests(self, daemon):
+        with _client(daemon) as client:
+            with pytest.raises(ServeError, match="nets"):
+                client.request("route")
+            with pytest.raises(ServeError, match="nets"):
+                client.request("route", nets=[])
+            with pytest.raises(ServeError, match="pins"):
+                client.request("route", nets=[{"name": "pinless"}])
+            with pytest.raises(ServeError):
+                # One pin: geometrically invalid, rejected by validation.
+                client.request("route", nets=[{"pins": [[0, 0]]}])
+            assert client.ping()
+
+    def test_errors_do_not_poison_later_requests(self, daemon):
+        with _client(daemon) as client:
+            with pytest.raises(ServeError):
+                client.request("route", nets=[{"pins": [[0, 0]]}])
+            results = client.route(
+                [random_net(4, rng=random.Random(63), name="after")]
+            )
+        assert results[0][1]
+
+
+class TestDaemonLifecycle:
+    def test_shutdown_op_stops_the_server(self, serve_dir):
+        config = ServeConfig(host="127.0.0.1", port=0, workers=1)
+        handle = ServerThread(config).start()
+        with ServeClient(host="127.0.0.1", port=handle.server.tcp_port) as c:
+            c.shutdown()
+        handle._thread.join(30)
+        assert not handle._thread.is_alive()
+
+    def test_config_requires_an_endpoint(self):
+        from repro.serve import RouteServer
+
+        with pytest.raises(ValueError, match="socket_path"):
+            RouteServer(ServeConfig())
+
+    def test_client_requires_exactly_one_endpoint(self):
+        with pytest.raises(ValueError):
+            ServeClient()
+        with pytest.raises(ValueError):
+            ServeClient(socket_path="/tmp/x.sock", host="127.0.0.1", port=1)
+
+    def test_store_survives_daemon_restart(self, serve_dir):
+        store = serve_dir / "restart.sqlite"
+        net = random_net(5, rng=random.Random(64), name="persist")
+        config = ServeConfig(
+            host="127.0.0.1", port=0, workers=1, store_path=str(store)
+        )
+        with ServerThread(config) as first:
+            with ServeClient(host="127.0.0.1", port=first.server.tcp_port) as c:
+                c.route([net])
+        assert store.exists()
+        with ServerThread(config) as second:
+            with ServeClient(host="127.0.0.1", port=second.server.tcp_port) as c:
+                tiers = list(c.route_tiers([net]))
+        assert tiers == ["store"]
