@@ -22,7 +22,9 @@ Emits
 * ``results/serve.txt`` — the cold/warm table and speedup,
 * ``results/BENCH_serve.json`` — counters plus daemon statistics,
 * ``results/ledger.jsonl`` — one appended ``serve`` run record carrying
-  ``serve.requests_per_second`` and ``cache.store_hit_rate`` for
+  ``serve.requests_per_second``, ``cache.store_hit_rate``, and the
+  daemon's latency-histogram percentiles (``serve.p50_ms`` /
+  ``serve.p99_ms``, plus per-tier ``serve.<tier>.p50_ms`` variants) for
   ``repro obs check`` against the committed baseline.
 
 Asserted shape: the daemon answers the stream **>= 5x** faster than the
@@ -174,6 +176,18 @@ def test_serve_throughput_vs_cold_starts():
     assert payload["speedup"] >= MIN_SPEEDUP
     print(f"\n[metrics written to {path}]")
 
+    # Latency percentiles out of the daemon's exact histogram buckets:
+    # one pair for the whole request path, one per serving tier.
+    latency = stats["latency_ms"]
+    latency_metrics = {
+        "serve.p50_ms": latency["request"]["p50_ms"],
+        "serve.p99_ms": latency["request"]["p99_ms"],
+    }
+    for tier in ("memory", "store", "routed"):
+        if latency[tier]["count"]:
+            latency_metrics[f"serve.{tier}.p50_ms"] = latency[tier]["p50_ms"]
+            latency_metrics[f"serve.{tier}.p99_ms"] = latency[tier]["p99_ms"]
+
     record = obs.make_record(
         {
             "serve.requests_per_second": requests_per_second,
@@ -181,6 +195,7 @@ def test_serve_throughput_vs_cold_starts():
             "serve.warm_hit_rate": stats["warm_hit_rate"],
             "cache.store_hit_rate": stats["store_hit_rate"],
             "serve.nets": float(total_nets),
+            **latency_metrics,
         },
         name="serve",
         config={

@@ -14,11 +14,18 @@ compare     Run PatLabor vs SALT vs YSD on a net file and print
 draw        Render a net's Pareto-optimal trees to SVG files.
 serve       Run the routing daemon: a Unix-socket/TCP JSON service over a
             shared-LUT worker pool with an optional persistent cache store
-            (see ``repro.serve``).
+            (see ``repro.serve``). ``--metrics-port`` binds the HTTP
+            telemetry sidecar (``/metrics``, ``/healthz``, ``/readyz``).
+top         Poll a daemon's ``/metrics`` endpoint and render a live
+            terminal view: qps, per-tier latency percentiles, cache hit
+            rates, worker utilization.
 warm        Pre-populate a persistent cache store from a ``.nets`` file so
             later runs (and the daemon) start with a warm disk tier.
 cache       Cache-store maintenance: ``cache stats --store FILE`` prints
-            entry counts, file size, and lifetime hit/miss counters.
+            entry counts, file size (bytes), row count, and lifetime
+            hit/miss counters; ``--daemon-socket``/``--daemon-host`` also
+            query a live daemon for its hit rates since start, and
+            ``--json`` emits the whole report as one JSON object.
 obs         Performance-tracking surface over the run ledger:
             ``obs diff <run-a> <run-b>`` (per-metric deltas),
             ``obs check --baseline FILE`` (exit non-zero on regression),
@@ -209,6 +216,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         store_path=args.store or None,
         use_default_lut=not args.no_lut,
+        telemetry=args.telemetry,
+        metrics_host=args.metrics_host,
+        metrics_port=args.metrics_port,
+        slow_request_seconds=args.slow_ms / 1000.0,
     )
     server = RouteServer(config)
 
@@ -219,6 +230,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             endpoints.append(f"unix:{config.socket_path}")
         if config.host is not None:
             endpoints.append(f"tcp:{config.host}:{server.tcp_port}")
+        if config.metrics_port is not None:
+            endpoints.append(
+                f"http://{config.metrics_host}:{server.metrics_port}/metrics"
+            )
         print(
             f"serving on {' and '.join(endpoints)} "
             f"({config.workers} worker(s), cache={args.cache}, "
@@ -265,7 +280,20 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    url = args.url or f"http://{args.host}:{args.metrics_port}/metrics"
+    return run_top(
+        url,
+        interval=args.interval,
+        iterations=1 if args.once else args.iterations,
+    )
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .core.cache_store import PersistentStore
 
     store = PersistentStore(args.store, readonly=True)
@@ -277,6 +305,39 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         print(f"error: {args.store} is unreadable (corrupt store?)",
               file=sys.stderr)
         return 1
+    total = int(stats["total_hits"]) + int(stats["total_misses"])
+    stats["lifetime_hit_rate"] = (
+        int(stats["total_hits"]) / total if total else 0.0
+    )
+    daemon: dict = {}
+    if args.daemon_socket or args.daemon_host:
+        from .serve import ServeClient, ServeError
+
+        try:
+            with ServeClient(
+                socket_path=args.daemon_socket or None,
+                host=args.daemon_host or None,
+                port=args.daemon_port if args.daemon_host else None,
+            ) as client:
+                live = client.stats()
+        except (OSError, ServeError, ValueError) as exc:
+            print(f"error: cannot query daemon: {exc}", file=sys.stderr)
+            return 1
+        # Hit rates *since daemon start* — the session-scoped complement
+        # to the store's flushed lifetime counters.
+        daemon = {
+            "uptime_seconds": live.get("uptime_seconds"),
+            "nets": live.get("nets"),
+            "warm_hit_rate": live.get("warm_hit_rate"),
+            "store_hit_rate": live.get("store_hit_rate"),
+            "served_memory": live.get("served_memory"),
+            "served_store": live.get("served_store"),
+            "served_routed": live.get("served_routed"),
+        }
+        stats["daemon"] = daemon
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     print(f"store     {stats['path']}")
     print(f"healthy   {stats['healthy']}")
     print(f"entries   {stats['entries']}")
@@ -285,9 +346,18 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         f"lifetime  hits={stats['total_hits']} misses={stats['total_misses']} "
         f"puts={stats['total_puts']}"
     )
-    total = int(stats["total_hits"]) + int(stats["total_misses"])
-    rate = int(stats["total_hits"]) / total if total else 0.0
-    print(f"hit rate  {rate:.3f} (over {total} flushed lookup(s))")
+    print(
+        f"hit rate  {stats['lifetime_hit_rate']:.3f} "
+        f"(over {total} flushed lookup(s))"
+    )
+    if daemon:
+        print(
+            f"daemon    up {float(daemon['uptime_seconds'] or 0.0):.0f}s  "
+            f"nets={daemon['nets']}  "
+            f"warm_hit_rate={float(daemon['warm_hit_rate'] or 0.0):.3f}  "
+            f"store_hit_rate={float(daemon['store_hit_rate'] or 0.0):.3f} "
+            f"(since daemon start)"
+        )
     return 0
 
 
@@ -527,7 +597,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-lut", action="store_true",
         help="do not preload the bundled lookup table",
     )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="bind the HTTP telemetry sidecar (/metrics, /healthz, "
+        "/readyz) on this port (0: pick a free port; default: off)",
+    )
+    p.add_argument(
+        "--metrics-host", default="127.0.0.1",
+        help="address for the telemetry sidecar (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="enable obs registries inside pool workers and merge their "
+        "metrics into the daemon's at shutdown",
+    )
+    p.add_argument(
+        "--slow-ms", type=float, default=1000.0, metavar="MS",
+        help="log a structured slow_request record for requests over "
+        "this many milliseconds (default: 1000)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live terminal view over a daemon's /metrics endpoint"
+    )
+    p.add_argument(
+        "--url", help="full metrics URL (overrides --host/--metrics-port)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="daemon metrics host")
+    p.add_argument(
+        "--metrics-port", type=int, default=9100, metavar="PORT",
+        help="daemon metrics port (default: 9100)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between scrapes (default: 2)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    p.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "warm", help="pre-populate a persistent cache store from a .nets file"
@@ -552,6 +665,22 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print entry counts, size, and lifetime hit/miss totals"
     )
     s.add_argument("--store", required=True, help="SQLite store to inspect")
+    s.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    s.add_argument(
+        "--daemon-socket", metavar="PATH",
+        help="also query the daemon on this Unix socket for hit rates "
+        "since daemon start",
+    )
+    s.add_argument(
+        "--daemon-host", metavar="ADDR",
+        help="also query the daemon at this TCP address",
+    )
+    s.add_argument(
+        "--daemon-port", type=int, default=None, metavar="PORT",
+        help="TCP port for --daemon-host",
+    )
     s.set_defaults(func=_cmd_cache_stats)
     return parser
 

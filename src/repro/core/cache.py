@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
+from time import perf_counter
 from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # circular at runtime: engine imports this module
@@ -44,7 +45,7 @@ from ..core.pareto import Solution
 from ..geometry.net import Net
 from ..geometry.point import Point
 from ..geometry.transforms import ALL_TRANSFORMS, IDENTITY, GridTransform
-from ..obs import counter_add, span
+from ..obs import counter_add, enabled as obs_enabled, span, timer_observe
 from ..routing.tree import RoutingTree
 
 CacheKey = Tuple[Tuple[float, float], ...]
@@ -238,18 +239,32 @@ class CachedRouter:
         Lookup order: in-memory LRU, then the persistent store (when one
         is attached; disk hits are promoted back into the LRU), then the
         wrapped router — whose result is installed in both tiers.
+
+        With the registry enabled, each tier's lookup latency also lands
+        in a timer (``cache.lookup_seconds``, ``cache.store_get_seconds``,
+        ``cache.store_put_seconds``) — and therefore in the mergeable
+        latency histograms behind the daemon's ``/metrics`` endpoint. The
+        clock reads are guarded by the enabled flag, so the disabled path
+        stays branch-only.
         """
+        timed = obs_enabled()
+        t0 = perf_counter() if timed else 0.0
         with span("cache.key"):
             key, t_query = self._key(net)
         entry = self._cache.get(key)
+        if timed:
+            timer_observe("cache.lookup_seconds", perf_counter() - t0)
         if entry is not None:
             self._cache.move_to_end(key)
             self.hits += 1
             counter_add("cache.hits")
             return self._serve_entry(entry, net, t_query)
         if self.store is not None:
+            t1 = perf_counter() if timed else 0.0
             with span("cache.store_get"):
                 stored = self.store.get(key)
+            if timed:
+                timer_observe("cache.store_get_seconds", perf_counter() - t1)
             if stored is not None:
                 self.store_hits += 1
                 counter_add("cache.store_hits")
@@ -261,8 +276,11 @@ class CachedRouter:
         solutions = self.router.route(net)
         self._insert(key, (net, t_query, list(solutions)))
         if self.store is not None:
+            t2 = perf_counter() if timed else 0.0
             with span("cache.store_put"):
                 self.store.put(key, net, t_query, list(solutions))
+            if timed:
+                timer_observe("cache.store_put_seconds", perf_counter() - t2)
         return solutions
 
     @property

@@ -342,9 +342,12 @@ class PersistentStore:
     def stats(self) -> Dict[str, object]:
         """A snapshot for ``repro cache stats``: sizes plus counters.
 
-        ``session_*`` counters cover this process since the last flush;
-        ``total_*`` counters are the flushed lifetime numbers persisted in
-        the meta table (0 when the store never flushed).
+        ``session_*`` counters cover this process since the last flush
+        (``session_hit_rate`` is the hit fraction over exactly those, so a
+        daemon that queries its own store reports the rate *since start*,
+        not lifetime); ``total_*`` counters are the flushed lifetime
+        numbers persisted in the meta table (0 when the store never
+        flushed).
         """
         out: Dict[str, object] = {
             "path": str(self.path),
@@ -354,6 +357,7 @@ class PersistentStore:
             "session_hits": self.hits,
             "session_misses": self.misses,
             "session_puts": self.puts,
+            "session_hit_rate": self.hit_rate,
         }
         for name in ("total_hits", "total_misses", "total_puts"):
             out[name] = 0

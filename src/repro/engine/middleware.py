@@ -26,7 +26,14 @@ from typing import List
 from ..exceptions import DegreeTooLargeError, InvalidNetError
 from ..geometry.net import Net
 from ..core.pareto import Solution
-from ..obs import emit_event, events_enabled, peak_rss_kb, span
+from ..obs import (
+    current_net_id,
+    current_request_id,
+    emit_event,
+    events_enabled,
+    peak_rss_kb,
+    span,
+)
 from .protocol import Router, RouterCapabilities
 
 
@@ -96,9 +103,12 @@ class ObservedRouter(RouterMiddleware):
     enabled (:func:`repro.obs.events_enable`), emits one ``net_routed``
     event — net id, degree, dispatch tier (the wrapped router's
     ``dispatch_tier`` when it has one, its name otherwise), frontier
-    size, wall time, peak RSS. Emission happens after the frontier is
-    computed and never influences it; results are bit-identical with
-    observability on or off.
+    size, wall time, peak RSS. Inside a serve request
+    (:func:`repro.obs.request_context`) the event also carries the
+    daemon-assigned ``request_id``/``net_id``, which is how a request is
+    traced across the daemon/worker boundary. Emission happens after the
+    frontier is computed and never influences it; results are
+    bit-identical with observability on or off.
     """
 
     def route(self, net: Net) -> List[Solution]:
@@ -109,6 +119,13 @@ class ObservedRouter(RouterMiddleware):
         t0 = time.perf_counter()
         with span("engine.route"):
             front = self.inner.route(net)
+        fields: dict = {}
+        request_id = current_request_id()
+        if request_id is not None:
+            fields["request_id"] = request_id
+            net_id = current_net_id()
+            if net_id is not None:
+                fields["net_id"] = net_id
         emit_event(
             "net_routed",
             net=net.name or f"net_{id(net):x}",
@@ -117,6 +134,7 @@ class ObservedRouter(RouterMiddleware):
             front_size=len(front),
             wall_s=time.perf_counter() - t0,
             peak_rss_kb=peak_rss_kb(),
+            **fields,
         )
         return front
 

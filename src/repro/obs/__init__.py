@@ -13,7 +13,12 @@ The measurement substrate every perf PR reports against, in four layers:
   (:mod:`repro.obs.trace`);
 * **ledger** — an append-only, concurrent-writer-safe run history plus
   the direction-aware diff engine behind ``repro obs diff`` and the CI
-  perf gate ``repro obs check`` (:mod:`repro.obs.ledger`).
+  perf gate ``repro obs check`` (:mod:`repro.obs.ledger`);
+* **live** — service telemetry for the serve daemon: mergeable fixed-
+  bucket latency histograms, request-scoped ``request_id`` propagation
+  into pool workers, and a Prometheus exposition parser/validator
+  backing the daemon's ``/metrics`` endpoint and ``repro top``
+  (:mod:`repro.obs.live`, :mod:`repro.obs.top`).
 
 Everything is off by default: until the matching ``enable`` is called,
 every primitive is a no-op behind a flag check, so library users who
@@ -54,7 +59,14 @@ from .events import (
     peak_rss_kb,
     read_events,
 )
-from .export import dump_json, snapshot, to_prometheus, write_bench_json
+from .export import (
+    dump_json,
+    help_original_name,
+    prom_name,
+    snapshot,
+    to_prometheus,
+    write_bench_json,
+)
 from .ledger import (
     MetricDelta,
     append_record,
@@ -66,6 +78,19 @@ from .ledger import (
     regressions,
     render_diff,
     resolve_record,
+)
+from .live import (
+    DEFAULT_BOUNDS,
+    Exposition,
+    LatencyHistogram,
+    current_net_id,
+    current_request_id,
+    log_bucket_bounds,
+    merge_histograms,
+    parse_prometheus_text,
+    percentile_from_buckets,
+    request_context,
+    validate_exposition,
 )
 from .registry import Registry, TimerStat, get_registry, _REGISTRY
 from .report import metrics_summary, span_tree_report
@@ -128,7 +153,10 @@ def timer_observe(name: str, seconds: float) -> None:
 
 
 __all__ = [
+    "DEFAULT_BOUNDS",
     "EventLog",
+    "Exposition",
+    "LatencyHistogram",
     "MetricDelta",
     "Registry",
     "TimerStat",
@@ -136,6 +164,8 @@ __all__ = [
     "append_record",
     "chrome_trace",
     "counter_add",
+    "current_net_id",
+    "current_request_id",
     "current_span_path",
     "diff_metrics",
     "diff_records",
@@ -155,13 +185,20 @@ __all__ = [
     "get_event_log",
     "get_registry",
     "get_trace_collector",
+    "help_original_name",
+    "log_bucket_bounds",
     "make_record",
+    "merge_histograms",
     "metrics_summary",
+    "parse_prometheus_text",
     "peak_rss_kb",
+    "percentile_from_buckets",
+    "prom_name",
     "read_events",
     "read_ledger",
     "regressions",
     "render_diff",
+    "request_context",
     "reset",
     "resolve_record",
     "snapshot",
@@ -173,6 +210,7 @@ __all__ = [
     "trace_enable",
     "trace_enabled",
     "validate_chrome_trace",
+    "validate_exposition",
     "write_bench_json",
     "write_chrome_trace",
 ]

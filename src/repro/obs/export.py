@@ -5,8 +5,14 @@ Two formats cover the two consumers:
 * **JSON** (:func:`write_bench_json`, :func:`dump_json`) — the structured
   ``BENCH_<name>.json`` artefacts that ``benchmarks/`` writes and later
   perf PRs diff against;
-* **Prometheus text** (:func:`to_prometheus`) — the ``# TYPE``-annotated
-  exposition format, so a scraping deployment needs no adapter.
+* **Prometheus text** (:func:`to_prometheus`) — the exposition format
+  with a ``# HELP``/``# TYPE`` pair on **every** metric family (counters,
+  gauges, timer summaries, latency histograms, and the span summary), so
+  a scraping deployment needs no adapter and ``promtool check metrics``
+  passes. The HELP text always quotes the original dotted metric name
+  (``cache.store_hits``), so the name sanitization (dots → underscores)
+  round-trips: consumers can map ``repro_cache_store_hits_total`` back to
+  the catalogue entry without guessing where the dots were.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from .registry import Registry, get_registry
 
@@ -58,8 +64,32 @@ def write_bench_json(
     return dump_json(directory / f"BENCH_{name}.json", registry=registry, extra=extra)
 
 
-def _prom_name(name: str) -> str:
+def prom_name(name: str) -> str:
+    """The Prometheus family name of a dotted repro metric name.
+
+    Every character outside ``[a-zA-Z0-9_]`` becomes an underscore and
+    the ``repro_`` namespace prefix is added: ``cache.store_hits`` →
+    ``repro_cache_store_hits``. The mapping is not injective in general
+    (``a.b`` and ``a_b`` collide), so the exporter records the original
+    name in each family's ``# HELP`` line — that pair is the documented
+    round-trip, and ``tests/test_obs_live.py`` holds it as a regression.
+    """
     return "repro_" + _NAME_RE.sub("_", name)
+
+
+_prom_name = prom_name
+
+
+def _help_line(metric: str, original: str, what: str) -> str:
+    """One ``# HELP`` line carrying the original dotted metric name."""
+    text = f"repro {what} '{original}'".replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {metric} {text}"
+
+
+def help_original_name(help_text: str) -> Optional[str]:
+    """Recover the dotted metric name quoted in an exporter HELP text."""
+    m = re.search(r"'([^']+)'", help_text)
+    return m.group(1) if m else None
 
 
 def _prom_label_value(value: str) -> str:
@@ -73,39 +103,80 @@ def _prom_label_value(value: str) -> str:
     )
 
 
+def _histogram_lines(
+    metric: str, original: str, hist: Dict[str, object]
+) -> List[str]:
+    """Exposition lines for one serialized latency histogram.
+
+    Buckets are emitted cumulatively with ``le`` upper-bound labels plus
+    the mandatory ``+Inf`` bucket, ``_sum``, and ``_count`` — the
+    Prometheus histogram contract, checked structurally by
+    :func:`repro.obs.live.validate_exposition`.
+    """
+    lines = [
+        _help_line(metric, original, "latency histogram"),
+        f"# TYPE {metric} histogram",
+    ]
+    bounds = [float(b) for b in hist["bounds"]]  # type: ignore[union-attr]
+    counts = [int(c) for c in hist["counts"]]  # type: ignore[union-attr]
+    cumulative = 0
+    for bound, count in zip(bounds, counts[:-1]):
+        cumulative += count
+        lines.append(f'{metric}_bucket{{le="{bound!r}"}} {cumulative}')
+    cumulative += counts[-1]
+    lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{metric}_sum {hist['sum']}")
+    lines.append(f"{metric}_count {hist['count']}")
+    return lines
+
+
 def to_prometheus(registry: Optional[Registry] = None) -> str:
     """The snapshot in Prometheus text exposition format.
 
     Counters map directly (with the conventional ``_total`` suffix),
-    gauges map directly, and timers and spans become summaries
-    (``_count`` / ``_sum`` plus ``{quantile=...}`` sample lines; span
-    paths are carried in an escaped ``path`` label). Lines are emitted in
-    sorted name order per family, so output is deterministic and
-    diff-friendly.
+    gauges map directly, timers become summaries (``_count`` / ``_sum``
+    plus ``{quantile=...}`` sample lines), the per-timer latency
+    histograms become ``histogram`` families with cumulative ``le``
+    buckets, and spans form one ``repro_span_seconds`` summary family
+    with the span path in an escaped ``path`` label. Every family gets a
+    ``# HELP`` line quoting its original dotted name (the sanitization
+    round-trip) and a ``# TYPE`` line. Lines are emitted in sorted name
+    order per family, so output is deterministic and diff-friendly.
     """
     snap = snapshot(registry)
     lines = []
     for name, value in sorted(snap["counters"].items()):  # type: ignore[union-attr]
-        metric = _prom_name(name) + "_total"
+        metric = prom_name(name) + "_total"
+        lines.append(_help_line(metric, name, "counter"))
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value}")
     for name, value in sorted(snap["gauges"].items()):  # type: ignore[union-attr]
-        metric = _prom_name(name)
+        metric = prom_name(name)
+        lines.append(_help_line(metric, name, "gauge"))
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {value}")
     for name, stat in sorted(snap["timers"].items()):  # type: ignore[union-attr]
-        metric = _prom_name(name) + "_seconds"
+        metric = prom_name(name) + "_seconds"
+        lines.append(_help_line(metric, name, "timer summary"))
         lines.append(f"# TYPE {metric} summary")
         for q, quantile in (("p50_s", "0.5"), ("p90_s", "0.9"), ("p99_s", "0.99")):
             lines.append(f'{metric}{{quantile="{quantile}"}} {stat[q]}')
         lines.append(f"{metric}_sum {stat['total_s']}")
         lines.append(f"{metric}_count {stat['count']}")
-    for path, stat in sorted(snap["spans"].items()):  # type: ignore[union-attr]
-        label = _prom_label_value(path)
+    for name, hist in sorted(snap.get("histograms", {}).items()):  # type: ignore[union-attr]
+        lines.extend(_histogram_lines(prom_name(name), name, hist))
+    spans = snap["spans"]
+    if spans:  # type: ignore[truthy-bool]
         lines.append(
-            f'repro_span_seconds_sum{{path="{label}"}} {stat["total_s"]}'
+            _help_line("repro_span_seconds", "span", "span-path summary")
         )
-        lines.append(
-            f'repro_span_seconds_count{{path="{label}"}} {stat["count"]}'
-        )
+        lines.append("# TYPE repro_span_seconds summary")
+        for path, stat in sorted(spans.items()):  # type: ignore[union-attr]
+            label = _prom_label_value(path)
+            lines.append(
+                f'repro_span_seconds_sum{{path="{label}"}} {stat["total_s"]}'
+            )
+            lines.append(
+                f'repro_span_seconds_count{{path="{label}"}} {stat["count"]}'
+            )
     return "\n".join(lines) + "\n"

@@ -49,6 +49,8 @@ try:  # POSIX advisory locking; other platforms fall back to O_APPEND only.
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None  # type: ignore[assignment]
 
+from .live import LatencyHistogram
+
 PathLike = Union[str, Path]
 
 #: Default ledger location, relative to the repository root.
@@ -129,7 +131,10 @@ def flatten_snapshot(snap: Dict[str, object]) -> Dict[str, float]:
 
     Counters and gauges keep their names; timers and spans contribute
     ``<name>.total_s`` and ``<name>.mean_s`` (the two numbers the diff
-    engine can meaningfully threshold).
+    engine can meaningfully threshold); latency histograms contribute
+    ``<name>.p50_ms`` and ``<name>.p99_ms`` (exact bucket-bound
+    percentiles — deterministic, so the perf gate can threshold tail
+    latency without sample-ring noise).
     """
     flat: Dict[str, float] = {}
     for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
@@ -140,6 +145,11 @@ def flatten_snapshot(snap: Dict[str, object]) -> Dict[str, float]:
         for name, stat in snap.get(family, {}).items():  # type: ignore[union-attr]
             flat[f"{name}.total_s"] = float(stat["total_s"])
             flat[f"{name}.mean_s"] = float(stat["mean_s"])
+    for name, hist in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+        if int(hist.get("count", 0)):
+            summary = LatencyHistogram.from_dict(hist).as_summary()
+            flat[f"{name}.p50_ms"] = float(summary["p50_ms"])
+            flat[f"{name}.p99_ms"] = float(summary["p99_ms"])
     return flat
 
 
@@ -281,6 +291,7 @@ _DIRECTION_RULES = (
     ("hits", "higher", False),
     ("seconds", "lower", False),
     ("_s", "lower", True),    # the .total_s / .mean_s / .p99_s suffixes
+    ("_ms", "lower", True),   # serve latency metrics (serve.p99_ms, ...)
     ("misses", "lower", False),
     ("errors", "lower", False),
     ("fallbacks", "lower", False),

@@ -1,0 +1,471 @@
+"""Live-service telemetry primitives: histograms, request context, exposition.
+
+The offline observability stack (PRs 1-2) aggregates into counters and
+bounded timer *samples*, which is enough for post-run reports but not for
+a resident daemon: sample rings saturate, percentiles drift with
+eviction order, and per-worker distributions cannot be folded exactly.
+This module supplies the three live-service building blocks:
+
+* :class:`LatencyHistogram` — a **fixed-bucket, log-spaced latency
+  histogram** with exact integer counts and an **associative merge**:
+  per-worker histograms fold into daemon totals in any order without
+  changing a single bucket count or reported percentile (the property
+  ``tests/test_obs_live.py`` proves with hypothesis). The registry keeps
+  one next to every timer, so ``timer_observe`` feeds both.
+* **Request context** — :func:`request_context` /
+  :func:`current_request_id` carry the daemon-assigned ``request_id`` /
+  ``net_id`` pair across the asyncio ↔ worker-pool boundary, so
+  worker-side spans and ``net_routed`` events can be stitched into one
+  per-request lane across pids (see :mod:`repro.obs.trace`).
+* **Exposition tooling** — :func:`parse_prometheus_text` and
+  :func:`validate_exposition` parse and structurally check Prometheus
+  text exposition (the format ``/metrics`` serves and ``repro top``
+  polls), including the histogram bucket contract (cumulative,
+  monotone, ``+Inf`` equals ``_count``).
+
+The module is an import leaf: :mod:`repro.obs.registry` imports the
+histogram type from here, never the other way around.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+# --------------------------------------------------------------- histograms
+
+
+def log_bucket_bounds(
+    lo: float = 1e-5, hi: float = 100.0, per_decade: int = 5
+) -> Tuple[float, ...]:
+    """Log-spaced bucket upper bounds from ``lo`` to at least ``hi`` seconds.
+
+    Bounds are ``lo * 10**(i / per_decade)`` — a deterministic, purely
+    arithmetic series, so every process derives byte-identical bounds and
+    histograms merge without negotiation. The default (10 µs … 100 s,
+    5 buckets per decade, 36 bounds) brackets everything from a memory
+    cache hit to a degree-50 cold solve with ~58% bucket resolution.
+    """
+    if lo <= 0 or hi < lo or per_decade < 1:
+        raise ValueError(
+            f"need 0 < lo <= hi and per_decade >= 1, got {lo}, {hi}, {per_decade}"
+        )
+    bounds: List[float] = []
+    i = 0
+    while True:
+        bound = lo * 10.0 ** (i / per_decade)
+        bounds.append(bound)
+        if bound >= hi:
+            return tuple(bounds)
+        i += 1
+
+
+#: The shared default bucket layout: 10 µs to 100 s, 5 buckets per decade.
+DEFAULT_BOUNDS: Tuple[float, ...] = log_bucket_bounds()
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with exact, associatively-mergeable counts.
+
+    ``bounds`` are *upper* bucket edges in seconds (sorted, positive); an
+    implicit overflow bucket catches observations above the last bound
+    (Prometheus' ``+Inf``). Counts are integers, so
+    ``a.merge(b); a.merge(c)`` and ``b.merge(c); a.merge(b')`` produce
+    identical buckets — merge order never changes counts or percentiles.
+    The float ``sum`` accumulator is the only non-associative field and
+    is documented as approximate; all percentile math uses counts only.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(DEFAULT_BOUNDS if bounds is None else bounds)
+        if not bounds or any(
+            b <= 0 or not math.isfinite(b) for b in bounds
+        ) or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "histogram bounds must be finite, positive, strictly increasing"
+            )
+        self.bounds: Tuple[float, ...] = bounds
+        #: Per-bucket counts; index ``len(bounds)`` is the overflow bucket.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count: int = 0
+        self.sum: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration: the first bucket with ``bound >= seconds``."""
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (exact; bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+
+    def percentile(self, q: float) -> float:
+        """The upper bound of the bucket holding quantile ``q`` in [0, 1].
+
+        Deterministic under any merge order (depends only on integer
+        counts). Returns 0.0 on an empty histogram; observations in the
+        overflow bucket report the last finite bound (a conservative
+        lower estimate, flagged by :meth:`overflow` being non-zero).
+        """
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(min(max(q, 0.0), 1.0) * self.count))
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= target:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]  # pragma: no cover - cumulative == count above
+
+    @property
+    def overflow(self) -> int:
+        """Observations above the last finite bound (the ``+Inf`` bucket)."""
+        return self.counts[-1]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed durations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts, Prometheus-style (last == ``count``)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def clone(self) -> "LatencyHistogram":
+        """An independent copy (same bounds, copied counts)."""
+        out = LatencyHistogram(self.bounds)
+        out.counts = list(self.counts)
+        out.count = self.count
+        out.sum = self.sum
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialise to a JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`as_dict` output."""
+        out = cls(tuple(float(b) for b in payload["bounds"]))  # type: ignore[union-attr]
+        counts = [int(c) for c in payload["counts"]]  # type: ignore[union-attr]
+        if len(counts) != len(out.counts):
+            raise ValueError(
+                f"counts length {len(counts)} does not match "
+                f"{len(out.counts)} buckets"
+            )
+        out.counts = counts
+        out.count = int(payload.get("count", sum(counts)))  # type: ignore[arg-type]
+        out.sum = float(payload.get("sum", 0.0))  # type: ignore[arg-type]
+        return out
+
+    def as_summary(self) -> Dict[str, float]:
+        """Headline numbers for stats payloads: count, mean, p50/p95/p99 (ms)."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "p99_ms": self.percentile(0.99) * 1e3,
+        }
+
+
+def merge_histograms(
+    histograms: Sequence[LatencyHistogram],
+) -> LatencyHistogram:
+    """Fold a sequence of same-bounds histograms into a fresh one."""
+    if not histograms:
+        return LatencyHistogram()
+    out = histograms[0].clone()
+    for h in histograms[1:]:
+        out.merge(h)
+    return out
+
+
+# ---------------------------------------------------------- request context
+
+_REQUEST_ID: ContextVar[Optional[str]] = ContextVar("repro_request_id", default=None)
+_NET_ID: ContextVar[Optional[str]] = ContextVar("repro_net_id", default=None)
+
+
+@contextmanager
+def request_context(
+    request_id: Optional[str], net_id: Optional[str] = None
+) -> Iterator[None]:
+    """Scope the daemon-assigned request/net identity over a code region.
+
+    The serve daemon stamps every route request with a ``request_id`` and
+    ships it inside the task tuple; the pool worker re-enters this
+    context, so every span closed and every ``net_routed`` event emitted
+    underneath carries the id — the hook that lets
+    :func:`repro.obs.trace.chrome_trace` stitch one request's work into a
+    connected lane across process boundaries.
+    """
+    token_r = _REQUEST_ID.set(request_id)
+    token_n = _NET_ID.set(net_id)
+    try:
+        yield
+    finally:
+        _REQUEST_ID.reset(token_r)
+        _NET_ID.reset(token_n)
+
+
+def current_request_id() -> Optional[str]:
+    """The request id of the enclosing :func:`request_context` (or None)."""
+    return _REQUEST_ID.get()
+
+
+def current_net_id() -> Optional[str]:
+    """The net id of the enclosing :func:`request_context` (or None)."""
+    return _NET_ID.get()
+
+
+# --------------------------------------------------- exposition parse/check
+
+_EXPO_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+
+
+class ExpositionSample:
+    """One parsed sample line: metric name, labels, float value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ExpositionSample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class Exposition:
+    """A parsed Prometheus text exposition (types, help, samples)."""
+
+    def __init__(self) -> None:
+        #: ``family name -> type`` from ``# TYPE`` lines.
+        self.types: Dict[str, str] = {}
+        #: ``family name -> help text`` from ``# HELP`` lines.
+        self.help: Dict[str, str] = {}
+        #: Every sample line, in file order.
+        self.samples: List[ExpositionSample] = []
+
+    def value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[float]:
+        """The first sample matching ``name`` (and ``labels``, when given)."""
+        for s in self.samples:
+            if s.name != name:
+                continue
+            if labels is not None and any(
+                s.labels.get(k) != v for k, v in labels.items()
+            ):
+                continue
+            return s.value
+        return None
+
+    def buckets(self, family: str) -> List[Tuple[str, Dict[str, str], float]]:
+        """The ``<family>_bucket`` samples as ``(le, labels, count)`` rows."""
+        out: List[Tuple[str, Dict[str, str], float]] = []
+        for s in self.samples:
+            if s.name == family + "_bucket" and "le" in s.labels:
+                rest = {k: v for k, v in s.labels.items() if k != "le"}
+                out.append((s.labels["le"], rest, s.value))
+        return out
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    """Parse the inside of ``{...}`` into a label dict (unescaping values)."""
+    labels: Dict[str, str] = {}
+    # label="value" pairs; values may contain escaped quotes/backslashes.
+    for m in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', raw):
+        value = m.group(2)
+        value = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        labels[m.group(1)] = value
+    return labels
+
+
+def _parse_value(raw: str) -> float:
+    """Parse a sample value, accepting the ``+Inf``/``-Inf``/``NaN`` forms."""
+    lowered = raw.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(raw)
+
+
+def parse_prometheus_text(text: str) -> Exposition:
+    """Parse Prometheus text exposition into an :class:`Exposition`.
+
+    Raises :class:`ValueError` on lines that are neither comments, blank,
+    nor well-formed samples — the strictness ``repro top`` and the CI
+    smoke check rely on to catch a malformed ``/metrics`` body.
+    """
+    expo = Exposition()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("# TYPE "):
+            parts = stripped.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            expo.types[parts[2]] = parts[3]
+            continue
+        if stripped.startswith("# HELP "):
+            parts = stripped.split(None, 3)
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: malformed HELP comment")
+            expo.help[parts[2]] = parts[3]
+            continue
+        if stripped.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(stripped)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample {stripped!r}")
+        labels = _parse_labels(m.group("labels") or "")
+        try:
+            value = _parse_value(m.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad sample value {m.group('value')!r}"
+            ) from exc
+        expo.samples.append(ExpositionSample(m.group("name"), labels, value))
+    return expo
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> str:
+    """The declared family a sample belongs to (suffix-aware)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+            return sample_name[: -len(suffix)]
+    if sample_name in types:
+        return sample_name
+    if sample_name.endswith("_total") and sample_name in types:
+        return sample_name
+    return sample_name
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Structural problems in a Prometheus exposition ([] when valid).
+
+    Checks: every line parses; metric names match the exposition charset;
+    every sample's family carries exactly one ``# TYPE`` (and a
+    ``# HELP``); histogram families have cumulative, monotone buckets
+    whose ``+Inf`` count equals ``_count``, plus a ``_sum``; counter
+    family names end in ``_total``. This is the gate the CI serve-smoke
+    job runs against a live ``/metrics``.
+    """
+    problems: List[str] = []
+    try:
+        expo = parse_prometheus_text(text)
+    except ValueError as exc:
+        return [str(exc)]
+    for name in list(expo.types) + [s.name for s in expo.samples]:
+        if not _EXPO_NAME_RE.match(name):
+            problems.append(f"invalid metric name {name!r}")
+    for family, kind in expo.types.items():
+        if kind not in ("counter", "gauge", "summary", "histogram", "untyped"):
+            problems.append(f"family {family}: unknown type {kind!r}")
+        if kind == "counter" and not family.endswith("_total"):
+            problems.append(f"counter family {family} does not end in _total")
+        if family not in expo.help:
+            problems.append(f"family {family} has no # HELP line")
+    seen_families = set()
+    for sample in expo.samples:
+        family = _family_of(sample.name, expo.types)
+        seen_families.add(family)
+        if family not in expo.types:
+            problems.append(f"sample {sample.name} has no # TYPE declaration")
+    for family, kind in expo.types.items():
+        if kind != "histogram":
+            continue
+        count = expo.value(family + "_count")
+        total = expo.value(family + "_sum")
+        if count is None:
+            problems.append(f"histogram {family}: missing _count")
+        if total is None:
+            problems.append(f"histogram {family}: missing _sum")
+        by_labelset: Dict[Tuple[Tuple[str, str], ...], List[Tuple[str, float]]] = {}
+        for le, rest, value in expo.buckets(family):
+            by_labelset.setdefault(tuple(sorted(rest.items())), []).append(
+                (le, value)
+            )
+        if not by_labelset:
+            problems.append(f"histogram {family}: no _bucket samples")
+        for labelset, rows in by_labelset.items():
+            values = [v for _le, v in rows]
+            if values != sorted(values):
+                problems.append(
+                    f"histogram {family}{dict(labelset)}: buckets not cumulative"
+                )
+            les = [le for le, _v in rows]
+            if "+Inf" not in les:
+                problems.append(
+                    f"histogram {family}{dict(labelset)}: no +Inf bucket"
+                )
+            elif not labelset and count is not None:
+                inf_value = dict(rows)["+Inf"]
+                if inf_value != count:
+                    problems.append(
+                        f"histogram {family}: +Inf bucket {inf_value} "
+                        f"!= _count {count}"
+                    )
+    return problems
+
+
+def percentile_from_buckets(
+    rows: Sequence[Tuple[float, float]], q: float
+) -> float:
+    """Quantile ``q`` from parsed ``(le_seconds, cumulative_count)`` rows.
+
+    The consumer-side twin of :meth:`LatencyHistogram.percentile` —
+    ``repro top`` applies it to scraped ``_bucket`` samples. Rows must be
+    cumulative and sorted by ``le``; returns 0.0 when the histogram is
+    empty and the largest finite bound for overflow quantiles.
+    """
+    if not rows:
+        return 0.0
+    total = rows[-1][1]
+    if total <= 0:
+        return 0.0
+    target = max(1.0, math.ceil(min(max(q, 0.0), 1.0) * total))
+    finite = [le for le, _c in rows if math.isfinite(le)]
+    for le, cumulative in rows:
+        if cumulative >= target:
+            return le if math.isfinite(le) else (finite[-1] if finite else 0.0)
+    return finite[-1] if finite else 0.0

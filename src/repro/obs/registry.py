@@ -26,6 +26,8 @@ import math
 import threading
 from typing import Dict, List, Optional
 
+from .live import LatencyHistogram
+
 #: Raw samples kept per timer for percentile estimation; older samples are
 #: overwritten ring-buffer style once the cap is reached.
 SAMPLE_CAP = 8192
@@ -111,6 +113,11 @@ class Registry:
         self.gauges: Dict[str, float] = {}
         self.timers: Dict[str, TimerStat] = {}
         self.spans: Dict[str, TimerStat] = {}
+        #: One fixed-bucket histogram per timer name, maintained alongside
+        #: the sample ring by :meth:`timer_observe`. Unlike samples, bucket
+        #: counts are exact and merge associatively across workers, so a
+        #: live daemon can serve stable percentiles (see repro.obs.live).
+        self.histograms: Dict[str, LatencyHistogram] = {}
         #: Number of primitive calls recorded while enabled. The overhead
         #: test uses this as an exact count of instrumentation call sites
         #: executed per operation (control flow is identical disabled).
@@ -133,6 +140,7 @@ class Registry:
             self.gauges.clear()
             self.timers.clear()
             self.spans.clear()
+            self.histograms.clear()
             self.events = 0
 
     # ----------------------------------------------------------- primitives
@@ -164,7 +172,7 @@ class Registry:
                 self.gauges[name] = value
 
     def timer_observe(self, name: str, seconds: float) -> None:
-        """Record one duration under timer ``name``."""
+        """Record one duration under timer ``name`` (samples + histogram)."""
         if not self.enabled:
             return
         with self._lock:
@@ -173,6 +181,10 @@ class Registry:
             if stat is None:
                 stat = self.timers[name] = TimerStat()
             stat.observe(seconds)
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = LatencyHistogram()
+            hist.observe(seconds)
 
     def span_observe(self, path: str, seconds: float, error: bool = False) -> None:
         """Record one span duration at tree ``path``; ``error`` marks a
@@ -202,6 +214,9 @@ class Registry:
                 "gauges": dict(self.gauges),
                 "timers": {k: v.as_dict() for k, v in self.timers.items()},
                 "spans": {k: v.as_dict() for k, v in self.spans.items()},
+                "histograms": {
+                    k: v.as_dict() for k, v in self.histograms.items()
+                },
             }
             if with_samples:
                 snap["timer_samples"] = {
@@ -214,7 +229,8 @@ class Registry:
 
         Counters add; gauges take the max (every shipped gauge is a
         high-water mark or a size, where max is the useful aggregate);
-        timers and spans merge their distributions.
+        timers and spans merge their distributions; histograms merge
+        bucket counts exactly (associative — fold order never matters).
         """
         with self._lock:
             for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
@@ -233,6 +249,15 @@ class Registry:
                         stat_dict,
                         samples.get(name) if family == "timers" else None,  # type: ignore[union-attr]
                     )
+            for name, hist_dict in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+                incoming = LatencyHistogram.from_dict(hist_dict)
+                hist = self.histograms.get(name)
+                if hist is None or hist.bounds != incoming.bounds:
+                    # Unknown name (or a layout change): adopt the incoming
+                    # histogram wholesale rather than guessing a re-binning.
+                    self.histograms[name] = incoming
+                else:
+                    hist.merge(incoming)
 
 
 #: The process-global registry every instrumented module reports into.

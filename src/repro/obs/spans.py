@@ -22,6 +22,7 @@ import threading
 from time import perf_counter, time
 from typing import List
 
+from .live import current_request_id
 from .registry import _REGISTRY
 from .trace import _TRACE
 
@@ -81,6 +82,7 @@ class _Span:
                 pid=os.getpid(),
                 tid=threading.get_ident(),
                 error=error,
+                request_id=current_request_id(),
             )
         return False
 

@@ -1,0 +1,178 @@
+"""``repro top`` — a live terminal view over the daemon's ``/metrics``.
+
+Polls the serve daemon's Prometheus endpoint
+(:mod:`repro.serve.http`) on an interval and renders a compact,
+``top``-style dashboard: queries per second, per-tier latency
+percentiles (p50/p95/p99 out of the exact histogram buckets), cache hit
+rates, queue depth, and worker utilization. Rates are **deltas between
+consecutive scrapes** — the counters themselves are monotone — so the
+view shows what the daemon is doing *now*, not since boot.
+
+The module is a pure exposition *consumer*: it talks HTTP via
+``urllib`` and understands only the text format, so it works against
+any daemon incarnation (or, in principle, any Prometheus endpoint
+exporting the ``repro_serve_*`` families). One-shot mode
+(``iterations=1``) prints a single frame and exits — what the CI smoke
+job and the tests drive.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .live import Exposition, parse_prometheus_text, percentile_from_buckets
+
+#: The serve tiers rendered as latency rows, warmest first.
+TIERS = ("memory", "store", "routed")
+
+
+def fetch_metrics(url: str, timeout: float = 5.0) -> Exposition:
+    """Scrape and parse one exposition document from ``url``.
+
+    Raises :class:`OSError` (connection refused, timeout) or
+    :class:`ValueError` (malformed exposition) — callers decide whether
+    to retry or die loudly.
+    """
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        text = response.read().decode("utf-8")
+    return parse_prometheus_text(text)
+
+
+class TopState:
+    """Delta tracker between consecutive scrapes (qps, utilization)."""
+
+    def __init__(self) -> None:
+        self._last_ts: Optional[float] = None
+        self._last: Dict[str, float] = {}
+
+    def rates(self, expo: Exposition, now: float) -> Dict[str, float]:
+        """Per-second deltas of the monotone counters since the last call.
+
+        The first call has no baseline and reports zeros; a counter that
+        *decreased* (daemon restart) resets the baseline rather than
+        reporting a negative rate.
+        """
+        names = (
+            "repro_serve_requests_total",
+            "repro_serve_nets_total",
+            "repro_serve_errors_total",
+        )
+        current = {n: expo.value(n) or 0.0 for n in names}
+        rates = {n: 0.0 for n in names}
+        if self._last_ts is not None:
+            dt = max(now - self._last_ts, 1e-9)
+            for n in names:
+                delta = current[n] - self._last.get(n, 0.0)
+                rates[n] = delta / dt if delta >= 0 else 0.0
+        self._last_ts = now
+        self._last = current
+        return rates
+
+
+def _tier_row(expo: Exposition, name: str, label: str) -> Optional[str]:
+    """One latency table row from a histogram family (None when absent)."""
+    rows = [
+        (float("inf") if le == "+Inf" else float(le), count)
+        for le, _labels, count in expo.buckets(name)
+    ]
+    if not rows:
+        return None
+    count = expo.value(name + "_count") or 0.0
+    p50 = percentile_from_buckets(rows, 0.50) * 1e3
+    p95 = percentile_from_buckets(rows, 0.95) * 1e3
+    p99 = percentile_from_buckets(rows, 0.99) * 1e3
+    return (
+        f"  {label:<8} {int(count):>10} {p50:>10.3f} {p95:>10.3f} {p99:>10.3f}"
+    )
+
+
+def render_frame(expo: Exposition, rates: Dict[str, float]) -> str:
+    """One dashboard frame as plain text (no terminal control codes).
+
+    Layout: a throughput header, the per-tier latency table, then cache
+    and pool health lines. Everything comes from the exposition, so the
+    frame renders identically against a live scrape or a recorded one
+    (how the tests pin this function down).
+    """
+    lines: List[str] = []
+    ready = expo.value("repro_serve_ready")
+    uptime = expo.value("repro_serve_uptime_seconds") or 0.0
+    workers = expo.value("repro_serve_workers") or 0.0
+    lines.append(
+        f"repro serve — up {uptime:8.1f}s   workers {int(workers)}   "
+        f"ready {'yes' if ready else 'NO'}"
+    )
+    lines.append(
+        f"  qps {rates.get('repro_serve_requests_total', 0.0):8.1f}   "
+        f"nets/s {rates.get('repro_serve_nets_total', 0.0):8.1f}   "
+        f"errors/s {rates.get('repro_serve_errors_total', 0.0):6.2f}   "
+        f"slow {int(expo.value('repro_serve_slow_requests_total') or 0)}"
+    )
+    lines.append(
+        f"  {'tier':<8} {'count':>10} {'p50 ms':>10} {'p95 ms':>10} "
+        f"{'p99 ms':>10}"
+    )
+    request_row = _tier_row(expo, "repro_serve_request_seconds", "request")
+    if request_row:
+        lines.append(request_row)
+    for tier in TIERS:
+        row = _tier_row(expo, f"repro_serve_net_seconds_{tier}", tier)
+        if row:
+            lines.append(row)
+    warm = expo.value("repro_serve_warm_hit_rate")
+    depth = expo.value("repro_serve_queue_depth") or 0.0
+    depth_max = expo.value("repro_serve_queue_depth_max") or 0.0
+    # Utilization: how full the worker pool's high-water mark ran.
+    util = min(1.0, depth_max / workers) if workers else 0.0
+    lines.append(
+        f"  warm hit rate {100.0 * (warm or 0.0):5.1f}%   "
+        f"queue {int(depth)} (max {int(depth_max)})   "
+        f"worker utilization {100.0 * util:5.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    out: Callable[[str], None] = print,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll ``url`` and render frames until interrupted (or N iterations).
+
+    Returns a process exit code: 0 after a clean run, 1 when the very
+    first scrape fails (daemon absent — die loudly instead of spinning).
+    Later scrape failures print a warning frame and keep polling, since
+    a daemon mid-restart is exactly when an operator watches hardest.
+    """
+    state = TopState()
+    done = 0
+    while iterations is None or done < iterations:
+        if done:
+            sleep(interval)
+        try:
+            expo = fetch_metrics(url)
+        except (OSError, ValueError) as exc:
+            if done == 0:
+                out(f"repro top: cannot scrape {url}: {exc}")
+                return 1
+            out(f"repro top: scrape failed ({exc}); retrying")
+            done += 1
+            continue
+        out(render_frame(expo, state.rates(expo, clock())))
+        done += 1
+    return 0
+
+
+__all__: Tuple[str, ...] = (
+    "TopState",
+    "fetch_metrics",
+    "render_frame",
+    "run_top",
+)

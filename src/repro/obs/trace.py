@@ -69,13 +69,22 @@ class TraceCollector:
         pid: int,
         tid: int,
         error: bool = False,
+        request_id: Optional[str] = None,
     ) -> None:
-        """Record one completed span as an ``"X"`` event (µs units)."""
+        """Record one completed span as an ``"X"`` event (µs units).
+
+        ``request_id`` (when the caller runs inside
+        :func:`repro.obs.live.request_context`) lands in ``args`` and is
+        what :func:`chrome_trace` uses to stitch one flow lane per request
+        across daemon and worker pids.
+        """
         if not self.enabled:
             return
         args: Dict[str, object] = {"path": path}
         if error:
             args["error"] = True
+        if request_id is not None:
+            args["request_id"] = request_id
         event: TraceEvent = {
             "name": name,
             "cat": "span",
@@ -135,17 +144,60 @@ def trace_enabled() -> bool:
     return _TRACE.enabled
 
 
+def _flow_events(spans: List[TraceEvent]) -> List[TraceEvent]:
+    """Flow events (``"s"``/``"t"``/``"f"``) connecting each request's spans.
+
+    Spans sharing an ``args.request_id`` form one flow: a start arrow at
+    the first span, step points at intermediates, and a finish (with
+    ``bp: "e"`` so the arrow binds to the enclosing slice) at the last.
+    Requests whose spans all sit in one event — nothing to connect — emit
+    no flow. This is what draws one connected lane per request across the
+    daemon and worker pids in ``chrome://tracing``.
+    """
+    by_request: Dict[str, List[TraceEvent]] = {}
+    for event in spans:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args")
+        rid = args.get("request_id") if isinstance(args, dict) else None
+        if isinstance(rid, str):
+            by_request.setdefault(rid, []).append(event)
+    flows: List[TraceEvent] = []
+    for rid, chain in sorted(by_request.items()):
+        if len(chain) < 2:
+            continue
+        for i, event in enumerate(chain):
+            ph = "s" if i == 0 else ("f" if i == len(chain) - 1 else "t")
+            flow: TraceEvent = {
+                "name": "request",
+                "cat": "request",
+                "ph": ph,
+                "id": rid,
+                "ts": event["ts"],
+                "pid": event["pid"],
+                "tid": event["tid"],
+            }
+            if ph == "f":
+                flow["bp"] = "e"
+            flows.append(flow)
+    return flows
+
+
 def chrome_trace(collector: Optional[TraceCollector] = None) -> Dict[str, object]:
     """The collected spans as a Trace Event Format JSON object.
 
-    Process/thread naming metadata comes first, then every complete event
-    sorted by timestamp (Perfetto accepts unsorted input, but sorted output
-    lets consumers assert monotonicity). Load the result directly in
-    ``chrome://tracing`` or https://ui.perfetto.dev.
+    Process/thread naming metadata comes first, then every complete and
+    flow event sorted by timestamp (Perfetto accepts unsorted input, but
+    sorted output lets consumers assert monotonicity). Spans carrying an
+    ``args.request_id`` additionally get flow arrows (see
+    :func:`_flow_events`) so one request renders as a connected lane even
+    when its spans ran in different worker processes. Load the result
+    directly in ``chrome://tracing`` or https://ui.perfetto.dev.
     """
     events = (collector or _TRACE).events()
+    recorded = [e for e in events if e.get("ph") != "M"]
     spans = sorted(
-        (e for e in events if e.get("ph") != "M"),
+        recorded + _flow_events(recorded),
         key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)),
     )
     lanes = sorted({(e["pid"], e["tid"]) for e in spans})  # type: ignore[index]
@@ -189,7 +241,8 @@ def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
     Checks: ``traceEvents`` is a list; every event has a known phase and
     ``pid``/``tid``; ``X`` events carry non-negative ``ts`` and ``dur``
     with timestamps non-decreasing in file order; ``B``/``E`` events
-    balance within each ``(pid, tid)`` lane.
+    balance within each ``(pid, tid)`` lane; flow events (``s``/``t``/
+    ``f``) carry the ``id`` that names their flow.
     """
     problems: List[str] = []
     events = payload.get("traceEvents")
@@ -202,8 +255,11 @@ def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
             problems.append(f"event {i}: not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "B", "E", "M", "i", "C"):
+        if ph not in ("X", "B", "E", "M", "i", "C", "s", "t", "f"):
             problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph in ("s", "t", "f") and "id" not in event:
+            problems.append(f"event {i}: flow event missing id")
             continue
         if "pid" not in event or "tid" not in event:
             problems.append(f"event {i}: missing pid/tid")

@@ -7,20 +7,29 @@ the shared persistent cache tier (:mod:`repro.core.cache_store`) that
 makes hit rates compound across runs. Start one with ``repro serve``,
 talk to it with :class:`~repro.serve.client.ServeClient`, smoke-test an
 installation with ``python -m repro.serve.smoke``.
+
+Live telemetry rides alongside the wire protocol: ``--metrics-port``
+binds the HTTP sidecar (:class:`~repro.serve.http.TelemetryEndpoint`)
+answering ``/metrics`` (Prometheus exposition with per-tier latency
+histograms), ``/healthz``, and ``/readyz``; ``repro top`` renders the
+scrape as a live terminal view. See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 from .client import RoutedNet, ServeClient, ServeError
+from .http import METRICS_CONTENT_TYPE, TelemetryEndpoint
 from .pool import WorkerSpec
 from .server import RouteServer, ServeConfig, ServerThread
 
 __all__ = [
+    "METRICS_CONTENT_TYPE",
     "RoutedNet",
     "RouteServer",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerThread",
+    "TelemetryEndpoint",
     "WorkerSpec",
 ]

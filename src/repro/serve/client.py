@@ -154,7 +154,12 @@ class ServeClient:
             yield str(payload.get("served", "routed"))
 
     def stats(self) -> Dict[str, Any]:
-        """The daemon's live throughput/cache statistics."""
+        """The daemon's live throughput/cache statistics.
+
+        Includes ``ready`` (the ``/readyz`` verdict), ``slow_requests``,
+        and ``latency_ms`` — per-request and per-tier latency-histogram
+        summaries (count, mean, p50/p95/p99 in milliseconds).
+        """
         return dict(self.request("stats").get("stats", {}))
 
     def shutdown(self) -> None:

@@ -1,0 +1,180 @@
+"""Minimal asyncio HTTP sidecar: ``/metrics``, ``/healthz``, ``/readyz``.
+
+The serve daemon's telemetry endpoint is deliberately *not* a web
+framework: it answers exactly three GET paths over HTTP/1.1 with
+``Connection: close`` semantics, which is all a Prometheus scraper, a
+Kubernetes probe, or ``repro top`` needs — and it keeps the daemon free
+of dependencies (the container ships no aiohttp).
+
+Routes:
+
+* ``GET /metrics`` — the daemon's telemetry registry rendered by
+  :func:`repro.obs.to_prometheus` (``Content-Type: text/plain;
+  version=0.0.4``), including the always-on per-tier latency histograms.
+* ``GET /healthz`` — liveness: ``200 ok`` whenever the event loop can
+  still schedule the handler (if the loop is wedged, the connection
+  simply times out, which is the correct liveness failure mode).
+* ``GET /readyz`` — readiness: ``200`` only after every pool worker's
+  initializer has completed and the persistent store (when configured)
+  is attached and healthy; ``503`` before that, so a load balancer never
+  routes traffic into a cold or broken pool.
+
+``HEAD`` is answered like ``GET`` without a body; anything else is a
+``404`` (unknown path) or ``405`` (unknown method). Each connection
+serves one request — the server closes after responding, matching the
+``Connection: close`` header it sends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Tuple
+
+#: Content type the Prometheus text exposition format mandates.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Longest request head (request line + headers) the endpoint accepts.
+MAX_HEAD_BYTES = 16 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+def _response(
+    status: int, body: str, content_type: str = "text/plain; charset=utf-8"
+) -> bytes:
+    """Serialise one HTTP/1.1 response with ``Connection: close``."""
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+class TelemetryEndpoint:
+    """The daemon's HTTP sidecar, bound next to the routing listeners.
+
+    Parameters
+    ----------
+    metrics:
+        Zero-argument callable returning the current Prometheus
+        exposition text (the server passes its ``telemetry_registry``
+        renderer). Called per scrape, on the event loop — it must stay
+        cheap (the daemon's registry render is a lock + string build).
+    ready:
+        Zero-argument callable answering "is the pool initialized and
+        the store attached?" — the ``/readyz`` verdict.
+    host / port:
+        Bind address. ``port=0`` picks an ephemeral port; read it back
+        from :attr:`port` after :meth:`start` (how tests avoid
+        collisions).
+    """
+
+    def __init__(
+        self,
+        metrics: Callable[[], str],
+        ready: Callable[[], bool],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._metrics = metrics
+        self._ready = ready
+        self.host = host
+        self.requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (None before :meth:`start`)."""
+        if self._server is None:
+            return None
+        for sock in self._server.sockets or []:
+            name = sock.getsockname()
+            if isinstance(name, tuple) and len(name) >= 2:
+                return int(name[1])
+        return None  # pragma: no cover - a started server has sockets
+
+    async def start(self) -> None:
+        """Bind and start answering probes/scrapes."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.requested_port
+        )
+
+    async def stop(self) -> None:
+        """Close the listener (in-flight responses finish first)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- handling
+
+    def _route(self, method: str, path: str) -> Tuple[int, str, str]:
+        """(status, body, content type) for one parsed request line."""
+        if method not in ("GET", "HEAD"):
+            return 405, "method not allowed\n", "text/plain; charset=utf-8"
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return 200, self._metrics(), METRICS_CONTENT_TYPE
+        if path == "/healthz":
+            return 200, "ok\n", "text/plain; charset=utf-8"
+        if path == "/readyz":
+            if self._ready():
+                return 200, "ready\n", "text/plain; charset=utf-8"
+            return 503, "not ready\n", "text/plain; charset=utf-8"
+        return 404, "not found\n", "text/plain; charset=utf-8"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one request on one connection, then close it."""
+        try:
+            head = await reader.readuntil(b"\r\n")
+            parts = head.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                writer.write(_response(400, "bad request\n"))
+            else:
+                method, path = parts[0], parts[1]
+                # Drain the header block so the peer's write never sees a
+                # reset before our response goes out.
+                drained = 0
+                while drained < MAX_HEAD_BYTES:
+                    line = await reader.readline()
+                    drained += len(line)
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                status, body, ctype = self._route(method, path)
+                if method == "HEAD":
+                    body = ""
+                writer.write(_response(status, body, ctype))
+            await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (  # pragma: no cover - teardown races
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                pass
+
+
+__all__: List[str] = ["METRICS_CONTENT_TYPE", "TelemetryEndpoint"]

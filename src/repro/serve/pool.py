@@ -22,10 +22,12 @@ entry point.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from .. import obs
 from ..engine.build import EngineSpec, build_engine
 from ..engine.protocol import Router
 from .protocol import net_from_payload, result_to_payload
@@ -38,7 +40,9 @@ class WorkerSpec:
     A frozen, pickle-friendly description shipped once through the pool
     initializer (never per task). ``use_default_lut`` arms PatLabor with
     the shipped degree-4..6 table; ``store_path`` attaches the shared
-    persistent cache tier.
+    persistent cache tier; ``telemetry`` turns the worker's own obs
+    registry, event log, and trace collector on so the daemon can drain
+    per-worker metrics (:func:`drain_worker_telemetry`) at shutdown.
     """
 
     method: str = "patlabor"
@@ -46,6 +50,7 @@ class WorkerSpec:
     cache_entries: int = 100_000
     store_path: Optional[str] = None
     use_default_lut: bool = True
+    telemetry: bool = False
     router_options: Dict[str, Any] = field(default_factory=dict)
 
     def build(self) -> Router:
@@ -85,18 +90,38 @@ def preload_shared_state(spec: WorkerSpec) -> None:
 
 
 def init_worker(spec: WorkerSpec) -> None:
-    """Pool initializer: build this worker's engine once, park it globally."""
+    """Pool initializer: build this worker's engine once, park it globally.
+
+    With ``spec.telemetry`` set, the worker's process-local obs registry,
+    event log, and trace collector are enabled too, so per-worker numbers
+    exist for the daemon to fold back (histogram merges are associative,
+    so the fold order across workers never changes the daemon's totals).
+    """
     global _ENGINE
+    if spec.telemetry:
+        obs.enable()
+        obs.events_enable()
+        obs.trace_enable()
     _ENGINE = spec.build()
 
 
-def route_payload(payload: Dict[str, Any], with_trees: bool = False) -> Dict[str, Any]:
+def route_payload(
+    payload: Dict[str, Any],
+    with_trees: bool = False,
+    request_id: Optional[str] = None,
+    net_id: Optional[str] = None,
+) -> Dict[str, Any]:
     """Route one net payload on the resident engine (runs in a worker).
 
     Returns the response entry for this net plus accounting the server
     aggregates: which cache tier served it (``memory`` / ``store`` /
     ``routed``, derived from the engine's counter deltas) and the worker
     wall time.
+
+    ``request_id`` / ``net_id`` are the daemon-assigned trace identity:
+    the route runs inside :func:`repro.obs.request_context`, so worker-
+    side spans and ``net_routed`` events carry them, and they ride the
+    result back (``request_id`` in the out dict) for end-to-end checks.
     """
     if _ENGINE is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool used before init_worker")
@@ -104,9 +129,11 @@ def route_payload(payload: Dict[str, Any], with_trees: bool = False) -> Dict[str
     net = net_from_payload(payload)
     mem0 = int(getattr(engine, "hits", 0))
     store0 = int(getattr(engine, "store_hits", 0))
-    t0 = time.perf_counter()
-    front = engine.route(net)
-    seconds = time.perf_counter() - t0
+    with obs.request_context(request_id, net_id):
+        t0 = time.perf_counter()
+        front = engine.route(net)
+        seconds = time.perf_counter() - t0
+        obs.timer_observe("serve.worker_net_seconds", seconds)
     if int(getattr(engine, "hits", 0)) > mem0:
         served = "memory"
     elif int(getattr(engine, "store_hits", 0)) > store0:
@@ -117,7 +144,42 @@ def route_payload(payload: Dict[str, Any], with_trees: bool = False) -> Dict[str
         net.name or "net", front, served, with_trees=with_trees
     )
     out["seconds"] = seconds
+    if request_id is not None:
+        out["request_id"] = request_id
     return out
+
+
+def worker_ready() -> Dict[str, Any]:
+    """Readiness probe body: proof this worker's initializer completed.
+
+    The daemon submits one of these per worker after pool creation; the
+    returned dict doubles as the evidence behind ``/readyz`` (pid shows
+    which worker answered, store flags show the persistent tier is
+    attached and not degraded).
+    """
+    store = getattr(_ENGINE, "store", None) if _ENGINE is not None else None
+    return {
+        "pid": os.getpid(),
+        "engine": _ENGINE is not None,
+        "store_attached": store is not None,
+        "store_healthy": bool(getattr(store, "healthy", True)),
+    }
+
+
+def drain_worker_telemetry() -> Dict[str, Any]:
+    """This worker's obs state, serialised for a daemon-side merge.
+
+    Returns the registry snapshot (with raw timer samples), the buffered
+    structured events, and the buffered trace events; the worker's
+    buffers are cleared so a later drain ships only new data. Harmless
+    (all empty) when the worker runs without telemetry.
+    """
+    return {
+        "pid": os.getpid(),
+        "snapshot": obs.get_registry().snapshot(with_samples=True),
+        "events": obs.drain_events(),
+        "trace": obs.get_trace_collector().drain(),
+    }
 
 
 def flush_worker() -> Dict[str, float]:

@@ -18,14 +18,24 @@ at index 0 — exactly :class:`~repro.geometry.net.Net`'s pin convention.
 
 Responses (server → client) echo the ``id`` and carry ``"ok"``::
 
-    {"id": 2, "ok": true, "results": [RESULT, ...]}
+    {"id": 2, "ok": true, "request_id": "ab12cd34-7",
+     "results": [RESULT, ...]}
     {"id": 3, "ok": true, "stats": {...}}
     {"id": 9, "ok": false, "error": "why"}
 
-``RESULT`` is ``{"name", "front": [[w, d], ...], "served", "trees"?}``:
-``served`` tags the tier that produced the front (``"memory"`` /
-``"store"`` / ``"routed"``) and ``trees`` (only when requested) holds
-``{"points": [[x, y], ...], "parent": [...]}`` per solution.
+``RESULT`` is ``{"name", "front": [[w, d], ...], "served", "seconds",
+"request_id"?, "trees"?}``: ``served`` tags the tier that produced the
+front (``"memory"`` / ``"store"`` / ``"routed"``), ``seconds`` is the
+worker-measured wall time the daemon folds into its per-tier latency
+histograms, and ``trees`` (only when requested) holds ``{"points":
+[[x, y], ...], "parent": [...]}`` per solution. ``request_id`` — both at
+the response top level and per result — is the **daemon-assigned** trace
+identity (instance token + sequence, so ids stay disjoint across daemon
+restarts); it is distinct from the client-chosen ``id`` echo and joins
+the response to the request's spans, ``net_routed`` events, and
+``slow_request`` log records. The ``stats`` payload includes ``ready``
+(the ``/readyz`` verdict) and ``latency_ms`` per-tier histogram
+summaries.
 """
 
 from __future__ import annotations

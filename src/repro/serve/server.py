@@ -23,13 +23,30 @@ Throughput accounting rides :mod:`repro.obs` (no-op unless enabled):
 obs enabled or not — through the ``stats`` op and :meth:`RouteServer.stats`,
 which is how the benchmark publishes ``serve.requests_per_second`` and
 ``cache.store_hit_rate`` to the run ledger.
+
+Live telemetry (PR 8) adds an always-on layer the enabled flag does not
+gate, because it is how the daemon is *operated* rather than profiled:
+
+* per-request and per-tier latency **histograms**
+  (:class:`repro.obs.LatencyHistogram`) updated inline — exact bucket
+  counts, so the merged per-tier totals equal the daemon's net total by
+  construction;
+* a daemon-assigned ``request_id`` on every route request that rides the
+  task tuple into the pool workers (one connected trace lane per request
+  across pids — see :func:`repro.obs.request_context`);
+* an optional HTTP sidecar (``--metrics-port``) answering ``/metrics``,
+  ``/healthz``, and ``/readyz`` (:mod:`repro.serve.http`), plus
+  structured ``slow_request`` log records above
+  :attr:`ServeConfig.slow_request_seconds`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -39,12 +56,19 @@ from typing import Any, Dict, List, Optional
 from .. import obs
 from ..exceptions import ReproError
 from . import pool
+from .http import TelemetryEndpoint
 from .protocol import (
     KNOWN_OPS,
     MAX_NETS_PER_REQUEST,
     decode_message,
     encode_message,
 )
+
+#: Structured logger carrying the daemon's slow-request records.
+LOGGER = logging.getLogger("repro.serve")
+
+#: The cache tiers a net can be served from, in warmest-first order.
+TIERS = ("memory", "store", "routed")
 
 #: Line-buffer limit for reader streams: route batches and tree payloads
 #: are JSON lines that can far exceed asyncio's 64 KiB default.
@@ -59,6 +83,13 @@ class ServeConfig:
     binds an ephemeral TCP port (read it back from
     :attr:`RouteServer.tcp_port` — how tests and the smoke job avoid
     collisions).
+
+    ``metrics_port`` (when not None) binds the HTTP telemetry sidecar —
+    ``/metrics``, ``/healthz``, ``/readyz`` — on ``metrics_host``;
+    ``metrics_port=0`` binds an ephemeral port (read it back from
+    :attr:`RouteServer.metrics_port`). ``telemetry`` additionally enables
+    the obs registries inside every pool worker so their metrics are
+    drained and merged into the daemon's at shutdown.
     """
 
     socket_path: Optional[str] = None
@@ -70,6 +101,10 @@ class ServeConfig:
     cache_entries: int = 100_000
     store_path: Optional[str] = None
     use_default_lut: bool = True
+    telemetry: bool = False
+    metrics_host: str = "127.0.0.1"
+    metrics_port: Optional[int] = None
+    slow_request_seconds: float = 1.0
     router_options: Dict[str, Any] = field(default_factory=dict)
 
     def worker_spec(self) -> pool.WorkerSpec:
@@ -80,6 +115,7 @@ class ServeConfig:
             cache_entries=self.cache_entries,
             store_path=self.store_path,
             use_default_lut=self.use_default_lut,
+            telemetry=self.telemetry,
             router_options=dict(self.router_options),
         )
 
@@ -101,13 +137,36 @@ class RouteServer:
         self.requests = 0
         self.nets = 0
         self.errors = 0
-        self.served: Dict[str, int] = {"memory": 0, "store": 0, "routed": 0}
+        self.served: Dict[str, int] = {tier: 0 for tier in TIERS}
         self.queue_depth = 0
         self.queue_depth_max = 0
+        #: Per-daemon-incarnation token prefixed onto every request id, so
+        #: ids stay disjoint across daemon restarts even when the sequence
+        #: counter resets with the process.
+        self.instance = uuid.uuid4().hex[:8]
+        self._request_seq = 0
+        #: Always-on latency histograms (exact counts, associative merge;
+        #: independent of the obs enabled flag — this is how the daemon is
+        #: operated, not profiled). ``request_hist`` tracks whole-request
+        #: wall time; ``net_hists`` tracks worker-measured per-net wall
+        #: time keyed by the cache tier that served the net, so the three
+        #: tier counts sum to ``self.nets`` by construction.
+        self.request_hist = obs.LatencyHistogram()
+        self.net_hists: Dict[str, obs.LatencyHistogram] = {
+            tier: obs.LatencyHistogram() for tier in TIERS
+        }
+        self.slow_requests = 0
+        #: Flipped by the readiness task once every pool worker answered
+        #: its :func:`repro.serve.pool.worker_ready` probe; ``/readyz``
+        #: serves 503 until then.
+        self.ready = False
+        self.worker_info: List[Dict[str, Any]] = []
         self._executor: Optional[ProcessPoolExecutor] = None
         self._servers: List[asyncio.AbstractServer] = []
         self._stop_event: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._metrics_endpoint: Optional[TelemetryEndpoint] = None
+        self._ready_task: Optional["asyncio.Task[None]"] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -141,7 +200,43 @@ class RouteServer:
                     limit=STREAM_LIMIT,
                 )
             )
+        if self.config.metrics_port is not None:
+            self._metrics_endpoint = TelemetryEndpoint(
+                metrics=self.metrics_text,
+                ready=lambda: self.ready,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            )
+            await self._metrics_endpoint.start()
+        self._ready_task = self._loop.create_task(self._await_pool_ready())
         self.started_at = time.time()
+
+    async def _await_pool_ready(self) -> None:
+        """Probe the pool until every worker's initializer has completed.
+
+        Submits one :func:`repro.serve.pool.worker_ready` task per worker
+        and gathers the answers. ``/readyz`` flips to 200 only after the
+        gather resolves — i.e. after the pool has actually executed work
+        post-initialization — and only if each answer shows a healthy
+        store when one is configured. A broken pool leaves the daemon
+        permanently not-ready (the right probe verdict for it).
+        """
+        assert self._loop is not None and self._executor is not None
+        try:
+            probes = [
+                self._loop.run_in_executor(self._executor, pool.worker_ready)
+                for _ in range(max(1, self.config.workers))
+            ]
+            info = list(await asyncio.gather(*probes))
+        except (BrokenProcessPool, RuntimeError, asyncio.CancelledError):
+            return
+        self.worker_info = info
+        needs_store = self.config.store_path is not None
+        self.ready = all(
+            w.get("engine")
+            and (not needs_store or (w.get("store_attached") and w.get("store_healthy")))
+            for w in info
+        )
 
     @property
     def tcp_port(self) -> Optional[int]:
@@ -154,6 +249,13 @@ class RouteServer:
                 if isinstance(name, tuple) and len(name) >= 2:
                     return int(name[1])
         return None
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The telemetry sidecar's bound port (None when not configured)."""
+        if self._metrics_endpoint is None:
+            return None
+        return self._metrics_endpoint.port
 
     def stop(self) -> None:
         """Ask :meth:`serve_until_stopped` to wind the daemon down."""
@@ -170,7 +272,27 @@ class RouteServer:
             server.close()
             await server.wait_closed()
         self._servers.clear()
+        if self._ready_task is not None:
+            self._ready_task.cancel()
+            self._ready_task = None
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.stop()
+            self._metrics_endpoint = None
         if self._executor is not None:
+            if self.config.telemetry:
+                # Drain worker-side telemetry into the daemon's global
+                # registries (histogram merges are associative, so the
+                # drain order across workers is immaterial).
+                try:
+                    for _ in range(max(1, self.config.workers)):
+                        drained = self._executor.submit(
+                            pool.drain_worker_telemetry
+                        ).result(timeout=10)
+                        obs.get_registry().merge_snapshot(drained["snapshot"])
+                        obs.get_event_log().extend(drained["events"])
+                        obs.get_trace_collector().extend(drained["trace"])
+                except Exception:
+                    pass
             # Best-effort: ask workers to flush their persistent-store
             # statistics now (their atexit hooks cover stragglers).
             try:
@@ -248,11 +370,55 @@ class RouteServer:
             obs.counter_add("serve.errors")
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         response["id"] = request_id
-        obs.timer_observe("serve.request_seconds", time.perf_counter() - t0)
+        seconds = time.perf_counter() - t0
+        self.request_hist.observe(seconds)
+        obs.timer_observe("serve.request_seconds", seconds)
+        if seconds > self.config.slow_request_seconds:
+            self._log_slow_request(response, seconds)
         return response
 
+    def _log_slow_request(self, response: Dict[str, Any], seconds: float) -> None:
+        """Structured record for one request over the slow threshold.
+
+        Emits both a ``logging`` record on ``repro.serve`` (operators
+        tail this) and — when event logging is on — a ``slow_request``
+        event into the obs event log, each carrying the daemon-assigned
+        request id so the record joins the request's trace lane.
+        """
+        self.slow_requests += 1
+        rid = str(response.get("request_id", ""))
+        nets = len(response.get("results", []) or [])
+        LOGGER.warning(
+            "slow_request request_id=%s seconds=%.6f nets=%d threshold=%.3f",
+            rid,
+            seconds,
+            nets,
+            self.config.slow_request_seconds,
+        )
+        obs.emit_event(
+            "slow_request",
+            request_id=rid,
+            seconds=seconds,
+            nets=nets,
+            threshold_s=self.config.slow_request_seconds,
+        )
+
+    def _next_request_id(self) -> str:
+        """The next daemon-assigned request id (instance token + sequence)."""
+        self._request_seq += 1
+        return f"{self.instance}-{self._request_seq}"
+
     async def _op_route(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Fan a route request's nets out to the pool; gather in order."""
+        """Fan a route request's nets out to the pool; gather in order.
+
+        The daemon assigns the request a ``request_id`` and each net a
+        ``net_id`` (``<request_id>/<index>``); both ride the task tuple
+        into the worker, scope its spans/events, and come back in the
+        response for end-to-end propagation checks. Worker-measured
+        per-net seconds are folded into the per-tier latency histograms
+        here — on the event loop, so no locking subtleties — which keeps
+        the merged tier counts equal to ``self.nets`` at all times.
+        """
         nets = message.get("nets")
         if not isinstance(nets, list) or not nets:
             raise ReproError("route request needs a non-empty 'nets' list")
@@ -262,6 +428,7 @@ class RouteServer:
                 f"limit is {MAX_NETS_PER_REQUEST}"
             )
         with_trees = bool(message.get("with_trees", False))
+        request_id = self._next_request_id()
         assert self._loop is not None and self._executor is not None
         self.queue_depth += len(nets)
         self.queue_depth_max = max(self.queue_depth_max, self.queue_depth)
@@ -270,9 +437,15 @@ class RouteServer:
             futures = [
                 self._loop.run_in_executor(
                     self._executor,
-                    partial(pool.route_payload, payload, with_trees),
+                    partial(
+                        pool.route_payload,
+                        payload,
+                        with_trees,
+                        request_id,
+                        f"{request_id}/{index}",
+                    ),
                 )
-                for payload in nets
+                for index, payload in enumerate(nets)
             ]
             try:
                 results = await asyncio.gather(*futures)
@@ -286,7 +459,13 @@ class RouteServer:
             tier = str(result.get("served", "routed"))
             self.served[tier] = self.served.get(tier, 0) + 1
             obs.counter_add(f"serve.served_{tier}")
-        return {"ok": True, "results": list(results)}
+            seconds = result.get("seconds")
+            if isinstance(seconds, (int, float)):
+                hist = self.net_hists.get(tier)
+                if hist is None:
+                    hist = self.net_hists[tier] = obs.LatencyHistogram()
+                hist.observe(float(seconds))
+        return {"ok": True, "request_id": request_id, "results": list(results)}
 
     # ----------------------------------------------------------------- stats
 
@@ -305,10 +484,13 @@ class RouteServer:
         cold_or_store = store + routed
         stats: Dict[str, Any] = {
             "uptime_seconds": uptime,
+            "instance": self.instance,
+            "ready": self.ready,
             "workers": self.config.workers,
             "requests": self.requests,
             "nets": self.nets,
             "errors": self.errors,
+            "slow_requests": self.slow_requests,
             "requests_per_second": self.requests / uptime,
             "nets_per_second": self.nets / uptime,
             "served_memory": memory,
@@ -321,12 +503,69 @@ class RouteServer:
             "store_path": self.config.store_path,
             "method": self.config.method,
             "cache_mode": self.config.cache_mode,
+            "latency_ms": {
+                "request": self.request_hist.as_summary(),
+                **{
+                    tier: hist.as_summary()
+                    for tier, hist in sorted(self.net_hists.items())
+                },
+            },
         }
         obs.gauge_set("serve.requests_per_second", stats["requests_per_second"])
         obs.gauge_set("serve.nets_per_second", stats["nets_per_second"])
         obs.gauge_set("serve.warm_hit_rate", stats["warm_hit_rate"])
         obs.gauge_set("serve.store_hit_rate", stats["store_hit_rate"])
         return stats
+
+    # ------------------------------------------------------------- telemetry
+
+    def telemetry_registry(self) -> "obs.Registry":
+        """A temporary registry holding the daemon's authoritative metrics.
+
+        Built per scrape: start from the process-global obs snapshot (so
+        profiled runs keep their counters in ``/metrics``), then
+        overwrite the serve family with the daemon's always-on values —
+        counters, gauges, and the request/per-tier histograms plus their
+        associative fold ``serve.net_seconds`` (whose total count equals
+        the daemon's net total by construction). Overwriting after the
+        merge means each family appears exactly once in the exposition.
+        """
+        reg = obs.Registry()
+        reg.merge_snapshot(obs.get_registry().snapshot(with_samples=True))
+        uptime = max(time.time() - self.started_at, 1e-9)
+        reg.counters["serve.requests"] = float(self.requests)
+        reg.counters["serve.nets"] = float(self.nets)
+        reg.counters["serve.errors"] = float(self.errors)
+        reg.counters["serve.slow_requests"] = float(self.slow_requests)
+        for tier in TIERS:
+            reg.counters[f"serve.served_{tier}"] = float(
+                self.served.get(tier, 0)
+            )
+        reg.gauges["serve.uptime_seconds"] = uptime
+        reg.gauges["serve.ready"] = 1.0 if self.ready else 0.0
+        reg.gauges["serve.workers"] = float(self.config.workers)
+        reg.gauges["serve.queue_depth"] = float(self.queue_depth)
+        reg.gauges["serve.queue_depth_max"] = float(self.queue_depth_max)
+        reg.gauges["serve.requests_per_second"] = self.requests / uptime
+        reg.gauges["serve.nets_per_second"] = self.nets / uptime
+        warm = self.served.get("memory", 0) + self.served.get("store", 0)
+        reg.gauges["serve.warm_hit_rate"] = (
+            warm / self.nets if self.nets else 0.0
+        )
+        reg.histograms["serve.request_seconds"] = self.request_hist.clone()
+        tier_hists = {
+            f"serve.net_seconds.{tier}": hist.clone()
+            for tier, hist in self.net_hists.items()
+        }
+        reg.histograms.update(tier_hists)
+        reg.histograms["serve.net_seconds"] = obs.merge_histograms(
+            list(tier_hists.values())
+        )
+        return reg
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: :meth:`telemetry_registry` as exposition."""
+        return obs.to_prometheus(self.telemetry_registry())
 
 
 class ServerThread:

@@ -2,8 +2,12 @@
 
 ``python -m repro.serve.smoke`` exercises the whole service path the way
 a deployment would: start ``repro serve`` as a real subprocess on a Unix
-socket with a fresh persistent store, route a small workload containing
-repeats over the socket, assert a warm hit rate above zero, and shut the
+socket with a fresh persistent store and the HTTP telemetry sidecar,
+route a small workload containing repeats over the socket, assert a warm
+hit rate above zero, then check the sidecar — ``/healthz`` answers,
+``/readyz`` reports ready, and ``/metrics`` serves a **structurally
+valid** Prometheus exposition (``validate_exposition``) whose merged
+per-tier histogram counts equal the daemon's net total — and shut the
 daemon down cleanly (exit code 0). Any failed step exits non-zero with a
 diagnostic, so CI catches daemon bit-rot without the full benchmark.
 """
@@ -15,15 +19,21 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..geometry.net import Net, random_net
+from ..obs import parse_prometheus_text, validate_exposition
 from .client import ServeClient, ServeError
 
 #: Unique patterns in the smoke workload; each is queried twice (the
 #: second pass must be served warm).
 UNIQUE_NETS = 5
+
+#: Fixed sidecar port for the smoke daemon (CI curls it too).
+METRICS_PORT = 9109
 
 
 def _workload() -> List[Net]:
@@ -58,6 +68,49 @@ def _wait_for_socket(path: str, proc: subprocess.Popen, timeout: float = 60.0) -
     raise TimeoutError(f"daemon never came up: {last_error}")
 
 
+def _http_get(url: str, timeout: float = 10.0) -> Tuple[int, str]:
+    """(status, body) for a GET; 4xx/5xx return instead of raising."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+def _check_telemetry(base_url: str, nets_total: float) -> Optional[str]:
+    """Probe the sidecar; the failure diagnostic, or None when healthy."""
+    status, body = _http_get(base_url + "/healthz")
+    if status != 200:
+        return f"/healthz answered {status}"
+    deadline = time.time() + 60.0
+    while True:
+        status, body = _http_get(base_url + "/readyz")
+        if status == 200:
+            break
+        if time.time() > deadline:
+            return f"/readyz never became ready (last: {status} {body!r})"
+        time.sleep(0.2)
+    status, text = _http_get(base_url + "/metrics")
+    if status != 200:
+        return f"/metrics answered {status}"
+    problems = validate_exposition(text)
+    if problems:
+        return f"malformed exposition: {problems}"
+    expo = parse_prometheus_text(text)
+    scraped = expo.value("repro_serve_nets_total")
+    if scraped != nets_total:
+        return f"nets_total {scraped} != client-observed {nets_total}"
+    merged = {
+        le: v for le, _labels, v in expo.buckets("repro_serve_net_seconds")
+    }.get("+Inf")
+    if merged != nets_total:
+        return (
+            f"merged per-tier histogram count {merged} "
+            f"!= nets_total {nets_total}"
+        )
+    return None
+
+
 def main() -> int:
     """Run the smoke sequence; return a process exit code."""
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
@@ -69,6 +122,7 @@ def main() -> int:
                 "--socket", socket_path,
                 "--store", store_path,
                 "--workers", "2",
+                "--metrics-port", str(METRICS_PORT),
             ],
         )
         try:
@@ -94,6 +148,16 @@ def main() -> int:
                 if stats["warm_hit_rate"] <= 0.0:
                     print("FAIL: repeated nets produced no warm hits")
                     return 1
+                problem = _check_telemetry(
+                    f"http://127.0.0.1:{METRICS_PORT}", float(stats["nets"])
+                )
+                if problem is not None:
+                    print(f"FAIL: telemetry sidecar: {problem}")
+                    return 1
+                print(
+                    f"telemetry OK: /metrics valid, p50 "
+                    f"{stats['latency_ms']['request']['p50_ms']:.3f} ms"
+                )
                 client.shutdown()
             rc = proc.wait(timeout=60)
             if rc != 0:

@@ -270,3 +270,77 @@ class TestCachedRouterStoreTier:
         with pytest.raises(ValueError, match="cache_store"):
             build_engine(EngineSpec(router="patlabor", cache=None,
                                     cache_store="x.sqlite"))
+
+
+class TestCacheStatsCli:
+    """`repro cache stats`: store report, --json, and the daemon section."""
+
+    def _seed_store(self, tmp_path):
+        db = tmp_path / "cli.sqlite"
+        store = PersistentStore(db)
+        net = random_net(4, rng=random.Random(71))
+        key, transform = canonical_key(net)
+        store.put(key, net, transform, list(PatLabor().route(net)))
+        assert store.get(key) is not None               # one hit
+        other = random_net(5, rng=random.Random(73))
+        assert store.get(canonical_key(other)[0]) is None  # one miss
+        store.close()        # flushes lifetime counters
+        return db
+
+    def test_json_report_fields(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        db = self._seed_store(tmp_path)
+        assert main(["cache", "stats", "--store", str(db), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] == 1
+        assert report["size_bytes"] > 0
+        assert report["total_hits"] == 1 and report["total_misses"] == 1
+        assert report["lifetime_hit_rate"] == 0.5
+        assert report["healthy"] is True
+        assert "daemon" not in report
+
+    def test_text_report_mentions_size_and_rate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = self._seed_store(tmp_path)
+        assert main(["cache", "stats", "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   1" in out
+        assert "bytes" in out and "hit rate" in out
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["cache", "stats", "--store", str(tmp_path / "none.sqlite")])
+        assert rc == 1
+        assert "no store" in capsys.readouterr().err
+
+    def test_daemon_section_reports_since_start_rates(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.serve import ServeClient, ServeConfig, ServerThread
+
+        db = self._seed_store(tmp_path)
+        config = ServeConfig(
+            host="127.0.0.1", port=0, workers=1, store_path=str(db)
+        )
+        with ServerThread(config) as handle:
+            with ServeClient(
+                host="127.0.0.1", port=handle.server.tcp_port
+            ) as client:
+                client.route([random_net(4, rng=random.Random(72))])
+            rc = main([
+                "cache", "stats", "--store", str(db), "--json",
+                "--daemon-host", "127.0.0.1",
+                "--daemon-port", str(handle.server.tcp_port),
+            ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        daemon = report["daemon"]
+        assert daemon["nets"] == 1
+        assert 0.0 <= daemon["warm_hit_rate"] <= 1.0
+        assert {"served_memory", "served_store", "served_routed"} <= set(daemon)

@@ -1,0 +1,462 @@
+"""Tests for repro.obs.live and the Prometheus exposition round-trip.
+
+Covers the live-telemetry satellites of the observability PR:
+
+* histogram **merge associativity and determinism** (hypothesis: merge
+  order never changes bucket counts or reported percentiles);
+* metric-name **sanitization round-trip** (dots -> underscores, original
+  name recovered from the ``# HELP`` line) as a regression test;
+* :func:`validate_exposition` structural checks against both valid
+  exporter output and deliberately malformed documents;
+* the ``repro top`` consumer (``percentile_from_buckets``, frame
+  rendering, scrape-failure exit codes).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BOUNDS,
+    LatencyHistogram,
+    Registry,
+    current_net_id,
+    current_request_id,
+    help_original_name,
+    log_bucket_bounds,
+    merge_histograms,
+    parse_prometheus_text,
+    percentile_from_buckets,
+    prom_name,
+    request_context,
+    to_prometheus,
+    validate_exposition,
+)
+from repro.obs.top import TopState, render_frame, run_top
+
+# --------------------------------------------------------------- histograms
+
+
+class TestBucketBounds:
+    def test_default_bounds_are_deterministic_and_monotone(self):
+        assert log_bucket_bounds() == DEFAULT_BOUNDS
+        assert list(DEFAULT_BOUNDS) == sorted(set(DEFAULT_BOUNDS))
+        assert DEFAULT_BOUNDS[0] == pytest.approx(1e-5)
+        assert DEFAULT_BOUNDS[-1] >= 100.0
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            log_bucket_bounds(lo=0.0)
+        with pytest.raises(ValueError):
+            log_bucket_bounds(lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            log_bucket_bounds(per_decade=0)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.percentile(0.5) == 0.0
+        assert h.mean == 0.0
+        assert h.overflow == 0
+
+    def test_observe_and_percentile(self):
+        h = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        for s in (0.005, 0.005, 0.05, 0.5):
+            h.observe(s)
+        assert h.counts == [2, 1, 1, 0]
+        assert h.percentile(0.5) == 0.01
+        assert h.percentile(1.0) == 1.0
+
+    def test_overflow_reports_last_finite_bound(self):
+        h = LatencyHistogram(bounds=(0.01, 0.1))
+        h.observe(5.0)
+        assert h.overflow == 1
+        assert h.percentile(0.99) == 0.1  # conservative lower estimate
+
+    def test_dict_round_trip(self):
+        h = LatencyHistogram()
+        for s in (1e-4, 3e-3, 0.2, 7.0):
+            h.observe(s)
+        back = LatencyHistogram.from_dict(h.as_dict())
+        assert back.bounds == h.bounds
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.sum == h.sum
+
+    def test_from_dict_rejects_count_mismatch(self):
+        payload = LatencyHistogram(bounds=(1.0,)).as_dict()
+        payload["counts"] = [1, 2, 3]
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict(payload)
+
+    def test_clone_is_independent(self):
+        h = LatencyHistogram()
+        h.observe(0.1)
+        c = h.clone()
+        c.observe(0.2)
+        assert h.count == 1 and c.count == 2
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(1.0,)).merge(
+                LatencyHistogram(bounds=(2.0,))
+            )
+
+    def test_as_summary_keys(self):
+        h = LatencyHistogram()
+        h.observe(0.01)
+        summary = h.as_summary()
+        assert set(summary) == {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}
+        assert summary["count"] == 1.0
+        assert summary["p50_ms"] > 0.0
+
+
+durations = st.floats(
+    min_value=1e-7, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+worker_groups = st.lists(
+    st.lists(durations, max_size=25), min_size=1, max_size=6
+)
+
+
+def _fold(groups, order):
+    """Merge per-group histograms in the given index order."""
+    hists = []
+    for samples in groups:
+        h = LatencyHistogram()
+        for s in samples:
+            h.observe(s)
+        hists.append(h)
+    return merge_histograms([hists[i] for i in order])
+
+
+class TestMergeAssociativity:
+    """Merge order never changes bucket counts or reported percentiles."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(worker_groups)
+    def test_fold_order_invariance(self, groups):
+        order = list(range(len(groups)))
+        forward = _fold(groups, order)
+        backward = _fold(groups, order[::-1])
+        interleaved = _fold(groups, order[::2] + order[1::2])
+        for other in (backward, interleaved):
+            assert other.counts == forward.counts
+            assert other.count == forward.count
+            for q in (0.5, 0.9, 0.95, 0.99, 1.0):
+                assert other.percentile(q) == forward.percentile(q)
+
+    @settings(deadline=None, max_examples=60)
+    @given(worker_groups)
+    def test_pairwise_tree_fold_matches_linear_fold(self, groups):
+        hists = []
+        for samples in groups:
+            h = LatencyHistogram()
+            for s in samples:
+                h.observe(s)
+            hists.append(h)
+        linear = merge_histograms(hists)
+        # Balanced pairwise reduction: ((a+b) + (c+d)) + ...
+        level = [h.clone() for h in hists]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                merged = level[i]
+                merged.merge(level[i + 1])
+                nxt.append(merged)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        assert level[0].counts == linear.counts
+        assert level[0].count == linear.count
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(durations, max_size=50))
+    def test_rebuild_is_deterministic(self, samples):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for s in samples:
+            a.observe(s)
+        for s in samples:
+            b.observe(s)
+        assert a.as_dict()["counts"] == b.as_dict()["counts"]
+        assert a.percentile(0.99) == b.percentile(0.99)
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(durations, min_size=1, max_size=50))
+    def test_percentile_consumer_twin_agrees(self, samples):
+        """percentile_from_buckets on exported rows == producer percentile."""
+        h = LatencyHistogram()
+        for s in samples:
+            h.observe(s)
+        cumulative = h.cumulative()
+        rows = [
+            (bound, float(cumulative[i])) for i, bound in enumerate(h.bounds)
+        ] + [(math.inf, float(cumulative[-1]))]
+        for q in (0.5, 0.95, 0.99):
+            assert percentile_from_buckets(rows, q) == h.percentile(q)
+
+
+class TestPercentileFromBuckets:
+    def test_empty_rows(self):
+        assert percentile_from_buckets([], 0.5) == 0.0
+        assert percentile_from_buckets([(0.1, 0.0)], 0.5) == 0.0
+
+    def test_overflow_reports_largest_finite_bound(self):
+        rows = [(0.01, 0.0), (0.1, 0.0), (math.inf, 4.0)]
+        assert percentile_from_buckets(rows, 0.99) == 0.1
+
+
+# ---------------------------------------------------------- request context
+
+
+class TestRequestContext:
+    def test_defaults_are_none(self):
+        assert current_request_id() is None
+        assert current_net_id() is None
+
+    def test_scoping_and_nesting(self):
+        with request_context("req-1", "net-a"):
+            assert current_request_id() == "req-1"
+            assert current_net_id() == "net-a"
+            with request_context("req-2"):
+                assert current_request_id() == "req-2"
+                assert current_net_id() is None
+            assert current_request_id() == "req-1"
+        assert current_request_id() is None
+
+    def test_tolerates_none(self):
+        with request_context(None):
+            assert current_request_id() is None
+
+
+# ------------------------------------------------- exposition & round-trips
+
+
+def _populated_registry() -> Registry:
+    reg = Registry()
+    reg.enable()
+    reg.counter_add("cache.store_hits", 3)
+    reg.counter_add("serve.requests", 11)
+    reg.gauge_set("serve.queue_depth", 2.0)
+    for s in (0.001, 0.004, 0.02, 0.3):
+        reg.timer_observe("route.solve_seconds", s)
+    return reg
+
+
+class TestPrometheusRoundTrip:
+    def test_exporter_output_is_structurally_valid(self):
+        text = to_prometheus(_populated_registry())
+        assert validate_exposition(text) == []
+
+    def test_every_family_has_help_and_type(self):
+        expo = parse_prometheus_text(to_prometheus(_populated_registry()))
+        assert expo.types["repro_cache_store_hits_total"] == "counter"
+        assert expo.types["repro_serve_queue_depth"] == "gauge"
+        assert expo.types["repro_route_solve_seconds_seconds"] == "summary"
+        assert expo.types["repro_route_solve_seconds"] == "histogram"
+        for family in expo.types:
+            assert family in expo.help
+
+    def test_name_sanitization_round_trips_via_help(self):
+        """Regression: dots -> underscores is lossy, HELP recovers the name."""
+        expo = parse_prometheus_text(to_prometheus(_populated_registry()))
+        recovered = {
+            help_original_name(text) for text in expo.help.values()
+        }
+        assert {"cache.store_hits", "serve.requests",
+                "serve.queue_depth", "route.solve_seconds"} <= recovered
+
+    def test_prom_name_sanitization(self):
+        assert prom_name("cache.store_hits") == "repro_cache_store_hits"
+        assert prom_name("a.b-c d") == "repro_a_b_c_d"
+        assert help_original_name("# no quoted name here") is None
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        expo = parse_prometheus_text(to_prometheus(_populated_registry()))
+        rows = expo.buckets("repro_route_solve_seconds")
+        assert rows, "histogram family missing its buckets"
+        values = [v for _le, _labels, v in rows]
+        assert values == sorted(values)
+        assert rows[-1][0] == "+Inf"
+        assert rows[-1][2] == expo.value("repro_route_solve_seconds_count")
+
+    def test_parse_rejects_garbage_lines(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_text("this is not a metric line\n")
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_prometheus_text("# TYPE broken\n")
+
+    def test_validate_flags_structural_problems(self):
+        # Counter family not ending in _total.
+        bad = (
+            "# HELP repro_x repro counter 'x'\n"
+            "# TYPE repro_x counter\n"
+            "repro_x 1\n"
+        )
+        assert any("_total" in p for p in validate_exposition(bad))
+        # Histogram with non-cumulative buckets and no +Inf.
+        bad = (
+            "# HELP repro_h repro latency histogram 'h'\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1.0"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 5\n"
+        )
+        problems = validate_exposition(bad)
+        assert any("cumulative" in p for p in problems)
+        assert any("+Inf" in p for p in problems)
+        # Sample without a TYPE declaration.
+        assert any(
+            "no # TYPE" in p for p in validate_exposition("repro_orphan 1\n")
+        )
+
+    def test_validate_flags_inf_count_mismatch(self):
+        bad = (
+            "# HELP repro_h repro latency histogram 'h'\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 2\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 0.1\n"
+            "repro_h_count 3\n"
+        )
+        assert any("_count" in p for p in validate_exposition(bad))
+
+
+# ------------------------------------------------------------- `repro top`
+
+_FRAME_TEXT = """\
+# HELP repro_serve_requests_total repro counter 'serve.requests'
+# TYPE repro_serve_requests_total counter
+repro_serve_requests_total 10
+# HELP repro_serve_nets_total repro counter 'serve.nets'
+# TYPE repro_serve_nets_total counter
+repro_serve_nets_total 40
+# HELP repro_serve_errors_total repro counter 'serve.errors'
+# TYPE repro_serve_errors_total counter
+repro_serve_errors_total 0
+# HELP repro_serve_slow_requests_total repro counter 'serve.slow_requests'
+# TYPE repro_serve_slow_requests_total counter
+repro_serve_slow_requests_total 1
+# HELP repro_serve_uptime_seconds repro gauge 'serve.uptime_seconds'
+# TYPE repro_serve_uptime_seconds gauge
+repro_serve_uptime_seconds 12.5
+# HELP repro_serve_ready repro gauge 'serve.ready'
+# TYPE repro_serve_ready gauge
+repro_serve_ready 1
+# HELP repro_serve_workers repro gauge 'serve.workers'
+# TYPE repro_serve_workers gauge
+repro_serve_workers 2
+# HELP repro_serve_queue_depth repro gauge 'serve.queue_depth'
+# TYPE repro_serve_queue_depth gauge
+repro_serve_queue_depth 0
+# HELP repro_serve_queue_depth_max repro gauge 'serve.queue_depth_max'
+# TYPE repro_serve_queue_depth_max gauge
+repro_serve_queue_depth_max 2
+# HELP repro_serve_warm_hit_rate repro gauge 'serve.warm_hit_rate'
+# TYPE repro_serve_warm_hit_rate gauge
+repro_serve_warm_hit_rate 0.25
+# HELP repro_serve_request_seconds repro latency histogram 'serve.request_seconds'
+# TYPE repro_serve_request_seconds histogram
+repro_serve_request_seconds_bucket{le="0.01"} 6
+repro_serve_request_seconds_bucket{le="0.1"} 9
+repro_serve_request_seconds_bucket{le="+Inf"} 10
+repro_serve_request_seconds_sum 0.5
+repro_serve_request_seconds_count 10
+"""
+
+
+class TestTop:
+    def test_rates_first_call_is_zero_then_deltas(self):
+        state = TopState()
+        expo = parse_prometheus_text(_FRAME_TEXT)
+        assert state.rates(expo, 100.0) == {
+            "repro_serve_requests_total": 0.0,
+            "repro_serve_nets_total": 0.0,
+            "repro_serve_errors_total": 0.0,
+        }
+        later = parse_prometheus_text(
+            _FRAME_TEXT.replace(
+                "repro_serve_requests_total 10",
+                "repro_serve_requests_total 30",
+            )
+        )
+        rates = state.rates(later, 102.0)
+        assert rates["repro_serve_requests_total"] == pytest.approx(10.0)
+        assert rates["repro_serve_nets_total"] == 0.0
+
+    def test_rates_reset_on_daemon_restart(self):
+        state = TopState()
+        expo = parse_prometheus_text(_FRAME_TEXT)
+        state.rates(expo, 100.0)
+        restarted = parse_prometheus_text(
+            _FRAME_TEXT.replace(
+                "repro_serve_requests_total 10",
+                "repro_serve_requests_total 1",
+            )
+        )
+        rates = state.rates(restarted, 102.0)
+        assert rates["repro_serve_requests_total"] == 0.0  # not negative
+
+    def test_render_frame_contents(self):
+        expo = parse_prometheus_text(_FRAME_TEXT)
+        frame = render_frame(expo, TopState().rates(expo, 0.0))
+        assert "workers 2" in frame
+        assert "ready yes" in frame
+        assert "request" in frame and "p99 ms" in frame
+        assert "warm hit rate  25.0%" in frame
+        assert "worker utilization 100.0%" in frame
+
+    def test_run_top_exits_1_when_daemon_absent(self, capsys):
+        code = run_top("http://127.0.0.1:9/metrics", iterations=1)
+        assert code == 1
+        assert "cannot scrape" in capsys.readouterr().out
+
+    def test_run_top_renders_frames_via_stub(self, monkeypatch):
+        import repro.obs.top as top_mod
+
+        monkeypatch.setattr(
+            top_mod,
+            "fetch_metrics",
+            lambda url, timeout=5.0: parse_prometheus_text(_FRAME_TEXT),
+        )
+        frames = []
+        code = run_top(
+            "http://stub/metrics",
+            iterations=2,
+            interval=0.0,
+            out=frames.append,
+            clock=iter([0.0, 1.0]).__next__,
+            sleep=lambda _s: None,
+        )
+        assert code == 0
+        assert len(frames) == 2
+        assert all("repro serve" in f for f in frames)
+
+    def test_run_top_retries_after_first_success(self, monkeypatch):
+        import repro.obs.top as top_mod
+
+        calls = {"n": 0}
+
+        def flaky(url, timeout=5.0):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("connection refused")
+            return parse_prometheus_text(_FRAME_TEXT)
+
+        monkeypatch.setattr(top_mod, "fetch_metrics", flaky)
+        frames = []
+        code = run_top(
+            "http://stub/metrics",
+            iterations=3,
+            interval=0.0,
+            out=frames.append,
+            sleep=lambda _s: None,
+        )
+        assert code == 0
+        assert sum("retrying" in f for f in frames) == 1

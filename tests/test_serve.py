@@ -2,13 +2,23 @@
 
 import random
 import tempfile
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 import pytest
 
 from repro.exceptions import SerializationError
 from repro.geometry.net import Net, random_net
-from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
+from repro.obs import parse_prometheus_text, validate_exposition
+from repro.serve import (
+    METRICS_CONTENT_TYPE,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerThread,
+)
 from repro.serve.protocol import (
     decode_message,
     encode_message,
@@ -182,6 +192,200 @@ class TestDaemon:
                 [random_net(4, rng=random.Random(63), name="after")]
             )
         assert results[0][1]
+
+
+@pytest.fixture(scope="module")
+def telemetry_daemon(serve_dir):
+    """A daemon with the HTTP telemetry sidecar on an ephemeral port."""
+    config = ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        workers=2,
+        store_path=str(serve_dir / "telemetry.sqlite"),
+        metrics_port=0,
+    )
+    with ServerThread(config) as handle:
+        yield handle.server
+
+
+def _metrics_url(daemon, path="/metrics"):
+    return f"http://127.0.0.1:{daemon.metrics_port}{path}"
+
+
+def _http_get(url, timeout=10.0):
+    """(status, body, content_type) for a GET, without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode(), response.headers.get(
+                "Content-Type", ""
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(), exc.headers.get("Content-Type", "")
+
+
+def _wait_ready(daemon, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _body, _ctype = _http_get(_metrics_url(daemon, "/readyz"))
+        if status == 200:
+            return
+        time.sleep(0.05)
+    raise TimeoutError("daemon never became ready")
+
+
+class TestTelemetryEndpoint:
+    def test_healthz_answers_immediately(self, telemetry_daemon):
+        status, body, _ctype = _http_get(_metrics_url(telemetry_daemon, "/healthz"))
+        assert status == 200
+        assert body == "ok\n"
+
+    def test_readyz_flips_after_pool_warmup(self, telemetry_daemon):
+        # Ready means: every worker built its engine and attached the store.
+        _wait_ready(telemetry_daemon)
+        status, body, _ctype = _http_get(_metrics_url(telemetry_daemon, "/readyz"))
+        assert status == 200 and body == "ready\n"
+        assert telemetry_daemon.ready is True
+
+    def test_unknown_path_is_404_and_post_is_405(self, telemetry_daemon):
+        status, _body, _ctype = _http_get(_metrics_url(telemetry_daemon, "/nope"))
+        assert status == 404
+        request = urllib.request.Request(
+            _metrics_url(telemetry_daemon), data=b"x", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        assert status == 405
+
+    def test_metrics_is_valid_exposition(self, telemetry_daemon):
+        _wait_ready(telemetry_daemon)
+        with ServeClient(host="127.0.0.1", port=telemetry_daemon.tcp_port) as c:
+            c.route([random_net(4, rng=random.Random(70), name="m0")])
+        status, text, ctype = _http_get(_metrics_url(telemetry_daemon))
+        assert status == 200
+        assert ctype == METRICS_CONTENT_TYPE
+        assert validate_exposition(text) == []
+        expo = parse_prometheus_text(text)
+        assert expo.value("repro_serve_ready") == 1.0
+        assert expo.types["repro_serve_request_seconds"] == "histogram"
+
+    def test_merged_tier_counts_equal_request_total(self, telemetry_daemon):
+        """The acceptance criterion: per-tier histogram counts, merged,
+        equal the daemon's total net count — the associative fold of the
+        worker-measured durations loses nothing."""
+        _wait_ready(telemetry_daemon)
+        nets = [
+            random_net(4 + i % 2, rng=random.Random(80 + i), name=f"t{i}")
+            for i in range(5)
+        ]
+        with ServeClient(host="127.0.0.1", port=telemetry_daemon.tcp_port) as c:
+            c.route(nets)
+            c.route(nets)  # second pass lands in a warm tier
+        _status, text, _ctype = _http_get(_metrics_url(telemetry_daemon))
+        expo = parse_prometheus_text(text)
+        nets_total = expo.value("repro_serve_nets_total")
+        assert nets_total is not None and nets_total >= 10
+        merged_inf = dict(
+            (le, v) for le, _labels, v in expo.buckets("repro_serve_net_seconds")
+        )["+Inf"]
+        assert merged_inf == nets_total
+        per_tier = sum(
+            expo.value(f"repro_serve_net_seconds_{tier}_count") or 0.0
+            for tier in ("memory", "store", "routed")
+        )
+        assert per_tier == nets_total
+
+    def test_request_id_rides_response_and_results(self, telemetry_daemon):
+        nets = [
+            random_net(4, rng=random.Random(90 + i), name=f"r{i}")
+            for i in range(3)
+        ]
+        from repro.serve.protocol import net_to_payload
+
+        with ServeClient(host="127.0.0.1", port=telemetry_daemon.tcp_port) as c:
+            response = c.request(
+                "route", nets=[net_to_payload(n) for n in nets]
+            )
+        request_id = response["request_id"]
+        assert request_id.startswith(telemetry_daemon.instance + "-")
+        for result in response["results"]:
+            assert result["request_id"] == request_id
+            assert result["seconds"] >= 0.0
+
+    def test_request_ids_disjoint_across_daemon_restarts(self, serve_dir):
+        """Ids survive worker/daemon restarts without colliding: each
+        incarnation prefixes its sequence with a fresh instance token."""
+        from repro.serve.protocol import net_to_payload
+
+        ids = []
+        for _ in range(2):
+            config = ServeConfig(host="127.0.0.1", port=0, workers=1)
+            with ServerThread(config) as handle:
+                with ServeClient(
+                    host="127.0.0.1", port=handle.server.tcp_port
+                ) as c:
+                    net = random_net(4, rng=random.Random(91), name="same")
+                    response = c.request("route", nets=[net_to_payload(net)])
+                    ids.append(response["request_id"])
+        assert ids[0] != ids[1]
+        assert ids[0].split("-")[0] != ids[1].split("-")[0]
+
+    def test_stats_reports_latency_and_slow_requests(self, telemetry_daemon):
+        with ServeClient(host="127.0.0.1", port=telemetry_daemon.tcp_port) as c:
+            c.route([random_net(4, rng=random.Random(92), name="lat")])
+            stats = c.stats()
+        assert stats["ready"] in (True, False)
+        assert "slow_requests" in stats
+        latency = stats["latency_ms"]
+        assert set(latency) == {"request", "memory", "store", "routed"}
+        assert latency["request"]["count"] >= 1
+        assert latency["request"]["p50_ms"] > 0.0
+
+    def test_slow_request_accounting(self, serve_dir):
+        config = ServeConfig(
+            host="127.0.0.1", port=0, workers=1, slow_request_seconds=0.0
+        )
+        with ServerThread(config) as handle:
+            with ServeClient(
+                host="127.0.0.1", port=handle.server.tcp_port
+            ) as c:
+                c.route([random_net(4, rng=random.Random(93), name="slow")])
+                stats = c.stats()
+        assert stats["slow_requests"] >= 1
+
+    def test_fronts_bit_identical_with_telemetry_on_and_off(self, serve_dir):
+        """Telemetry must observe, never perturb: identical fronts and
+        trees whether the sidecar + worker telemetry is on or off."""
+        nets = [
+            random_net(5 + i % 2, rng=random.Random(94 + i), name=f"b{i}")
+            for i in range(4)
+        ]
+        fronts = []
+        for telemetry in (False, True):
+            config = ServeConfig(
+                host="127.0.0.1",
+                port=0,
+                workers=1,
+                telemetry=telemetry,
+                metrics_port=0 if telemetry else None,
+            )
+            with ServerThread(config) as handle:
+                with ServeClient(
+                    host="127.0.0.1", port=handle.server.tcp_port
+                ) as c:
+                    fronts.append(c.route(nets, with_trees=True))
+        for (name_off, front_off), (name_on, front_on) in zip(*fronts):
+            assert name_off == name_on
+            assert [(w, d) for w, d, _ in front_off] == [
+                (w, d) for w, d, _ in front_on
+            ]
+            for (_w, _d, t_off), (_w2, _d2, t_on) in zip(front_off, front_on):
+                assert tuple((p.x, p.y) for p in t_off.points) == tuple(
+                    (p.x, p.y) for p in t_on.points
+                )
+                assert tuple(t_off.parent) == tuple(t_on.parent)
 
 
 class TestDaemonLifecycle:
