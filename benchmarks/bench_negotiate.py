@@ -1,0 +1,161 @@
+"""Negotiated-congestion routing: frontier swapping vs single-tree rip-up.
+
+The PatLabor claim this benchmark gates: when a PathFinder negotiation
+loop can *swap nets between precomputed Pareto frontier points* instead
+of re-routing one fixed tree under escalating prices, it resolves the
+same contention in no more iterations and strictly less total wirelength
+— the per-net candidate sets pay for themselves at chip scale.
+
+One deterministic 500-net contention scenario (16x16 grid, cell capacity
+auto-sized for ~45% average utilisation, so hotspot cells start well
+over capacity) is negotiated twice over the *same* compiled frontiers:
+
+* **frontier** — the full negotiator: every net may move to any frontier
+  point inside its delay budget, priced by the live congestion grid,
+* **baseline** — the classic single-tree rip-up loop: every net pinned
+  to its min-delay point (the timing-safe choice a single-tree flow
+  ships), with only L-orientation freedom left per edge.
+
+Emits
+
+* ``results/negotiate.txt`` — the two-row comparison table,
+* ``results/BENCH_negotiate.json`` — counters plus the headline numbers,
+* ``results/ledger.jsonl`` — one appended ``negotiate`` run record
+  (``negotiate.iterations`` / ``negotiate.final_overuse`` /
+  ``negotiate.worst_delay`` / ``negotiate.total_wirelength`` plus the
+  ``baseline.*`` twins and ``negotiate.wirelength_saving_rate``) for
+  ``repro obs check`` against the committed baseline.
+
+Asserted shape: both runs converge to **zero overuse** within the
+iteration cap; the frontier negotiation needs **no more iterations** than
+the single-tree baseline, its total wirelength is **strictly lower**, and
+neither run violates a delay budget (``worst_delay == 0``).
+"""
+
+import json
+import time
+
+from repro import obs
+from repro.congestion.negotiate import (
+    NegotiatedRouter,
+    NegotiatorConfig,
+    Scenario,
+)
+
+from conftest import RESULTS_DIR, write_artifact
+
+NETS = 500          # paper scale: millions; enough for real cell contention
+CELLS = 16          # 16x16 capacity grid over [0, 1000]^2
+UTILIZATION = 0.45  # auto-capacity target: hotspots overflow, average fits
+SEED = 42
+MAX_ITERATIONS = 40
+
+
+def _scenario() -> Scenario:
+    return Scenario.random(
+        nets=NETS, cells=CELLS, utilization=UTILIZATION, seed=SEED
+    )
+
+
+def test_frontier_negotiation_beats_single_tree_ripup():
+    scenario = _scenario()
+    obs.enable()
+    try:
+        t0 = time.perf_counter()
+        frontier = NegotiatedRouter(
+            scenario, NegotiatorConfig(max_iterations=MAX_ITERATIONS)
+        ).run()
+        frontier_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        baseline = NegotiatedRouter(
+            scenario,
+            NegotiatorConfig(
+                max_iterations=MAX_ITERATIONS, point_policy="min_delay"
+            ),
+        ).run()
+        baseline_seconds = time.perf_counter() - t0
+    finally:
+        obs.disable()
+
+    # Both loops must actually resolve the contention.
+    assert frontier.converged, (
+        f"frontier negotiation stuck at overuse {frontier.final_overuse:.1f} "
+        f"after {frontier.iteration_count} iteration(s)"
+    )
+    assert baseline.converged, (
+        f"single-tree baseline stuck at overuse {baseline.final_overuse:.1f}"
+    )
+    assert frontier.final_overuse == 0.0
+    assert baseline.final_overuse == 0.0
+
+    # The paper's trade: frontier swapping converges at least as fast...
+    assert frontier.iteration_count <= baseline.iteration_count, (
+        f"frontier took {frontier.iteration_count} iteration(s) vs the "
+        f"baseline's {baseline.iteration_count}"
+    )
+    # ...at strictly lower total wirelength, without spending timing.
+    saving = baseline.total_wirelength - frontier.total_wirelength
+    assert saving > 0.0, (
+        f"frontier wirelength {frontier.total_wirelength:.1f} not below "
+        f"baseline {baseline.total_wirelength:.1f}"
+    )
+    assert frontier.worst_delay == 0.0
+    assert frontier.worst_delay <= baseline.worst_delay
+
+    rows = [
+        f"{'mode':<26}{'iters':>7}{'overuse':>9}{'wirelength':>13}"
+        f"{'worst_delay':>13}{'seconds':>9}",
+        "-" * 77,
+        f"{'frontier negotiation':<26}{frontier.iteration_count:>7}"
+        f"{frontier.final_overuse:>9.1f}{frontier.total_wirelength:>13.1f}"
+        f"{frontier.worst_delay:>13.3f}{frontier_seconds:>9.3f}",
+        f"{'single-tree rip-up':<26}{baseline.iteration_count:>7}"
+        f"{baseline.final_overuse:>9.1f}{baseline.total_wirelength:>13.1f}"
+        f"{baseline.worst_delay:>13.3f}{baseline_seconds:>9.3f}",
+        f"\nwirelength saved by frontier swapping: {saving:.1f} "
+        f"({saving / baseline.total_wirelength * 100.0:.2f}%) over "
+        f"{NETS} nets, {frontier.total_swaps} swap(s)",
+    ]
+    write_artifact("negotiate.txt", "\n".join(rows))
+
+    path = obs.write_bench_json(
+        "negotiate",
+        directory=RESULTS_DIR,
+        extra={
+            "workload": {
+                "nets": NETS,
+                "cells": CELLS,
+                "utilization": UTILIZATION,
+                "seed": SEED,
+            },
+            "frontier": frontier.metrics(),
+            "baseline": baseline.metrics(prefix="baseline"),
+            "wirelength_saving": saving,
+        },
+    )
+    payload = json.loads(path.read_text())
+    assert payload["wirelength_saving"] > 0.0
+    print(f"\n[metrics written to {path}]")
+
+    record = obs.make_record(
+        {
+            **frontier.metrics(),
+            **baseline.metrics(prefix="baseline"),
+            "negotiate.wirelength_saving_rate": (
+                saving / baseline.total_wirelength
+            ),
+            "negotiate.seconds": frontier_seconds,
+            "negotiate.nets": float(NETS),
+        },
+        name="negotiate",
+        config={
+            "nets": NETS,
+            "cells": CELLS,
+            "utilization": UTILIZATION,
+            "seed": SEED,
+            "max_iterations": MAX_ITERATIONS,
+        },
+    )
+    ledger_path = obs.append_record(record, RESULTS_DIR / "ledger.jsonl")
+    print(f"[run {record['run_id']} appended to {ledger_path}]")

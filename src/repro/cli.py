@@ -26,12 +26,18 @@ cache       Cache-store maintenance: ``cache stats --store FILE`` prints
             hit/miss counters; ``--daemon-socket``/``--daemon-host`` also
             query a live daemon for its hit rates since start, and
             ``--json`` emits the whole report as one JSON object.
+negotiate   Run PathFinder negotiated-congestion routing over a net file
+            (or a generated contention scenario): nets swap between
+            precomputed Pareto frontier points until no grid cell is over
+            capacity. ``--baseline`` also runs the min-delay-pinned
+            single-tree rip-up loop for comparison; ``--heatmap-svg``
+            renders the final demand/overuse grid.
 obs         Performance-tracking surface over the run ledger:
             ``obs diff <run-a> <run-b>`` (per-metric deltas),
             ``obs check --baseline FILE`` (exit non-zero on regression),
             ``obs ledger`` (list recorded runs).
 
-``route``, ``gen-lut``, and ``compare`` accept ``--profile`` (print a
+``route``, ``gen-lut``, ``compare``, and ``negotiate`` accept ``--profile`` (print a
 span-tree report and metric summary after the command, via
 :mod:`repro.obs`) and ``--profile-json PATH`` (also dump the metrics
 snapshot as JSON — e.g. ``BENCH_route.json``), plus ``--trace PATH``
@@ -196,6 +202,105 @@ def _cmd_draw(args: argparse.Namespace) -> int:
         )
     print(f"wrote {len(front) + 1} SVG file(s) with prefix {args.prefix!r}")
     return 0
+
+
+def _cmd_negotiate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .congestion.model import HAVE_NUMPY, CapacityGrid
+    from .congestion.negotiate import (
+        NegotiatedRouter,
+        NegotiatorConfig,
+        Scenario,
+    )
+
+    if not HAVE_NUMPY:
+        print("error: `negotiate` needs NumPy installed", file=sys.stderr)
+        return 2
+    if args.nets:
+        from .io.nets_format import load_nets
+
+        nets = load_nets(args.nets)
+        grid = CapacityGrid.uniform(
+            0,
+            0,
+            args.span,
+            args.span,
+            args.cells,
+            args.cells,
+            capacity=args.capacity if args.capacity else float("inf"),
+        )
+        scenario = Scenario(nets=nets, grid=grid)
+    else:
+        scenario = Scenario.random(
+            nets=args.count,
+            cells=args.cells,
+            span=args.span,
+            capacity=args.capacity,
+            utilization=args.utilization,
+            seed=args.seed,
+        )
+    config = NegotiatorConfig(
+        pres_fac_first=args.pres_fac,
+        pres_fac_mult=args.pres_fac_mult,
+        hist_fac=args.hist_fac,
+        max_iterations=args.max_iterations,
+        delay_slack=args.slack,
+        point_policy=args.policy,
+    )
+    result = NegotiatedRouter(scenario, config).run()
+    report = {
+        "nets": len(scenario.nets),
+        "grid": f"{scenario.grid.nx}x{scenario.grid.ny}",
+        "capacity": float(scenario.grid.capacity.max()),
+        **result.metrics(),
+    }
+    if args.baseline:
+        base_config = NegotiatorConfig(
+            pres_fac_first=args.pres_fac,
+            pres_fac_mult=args.pres_fac_mult,
+            hist_fac=args.hist_fac,
+            max_iterations=args.max_iterations,
+            delay_slack=args.slack,
+            point_policy="min_delay",
+        )
+        base = NegotiatedRouter(scenario, base_config).run()
+        for key, value in base.metrics(prefix="baseline").items():
+            report[key] = value
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        verdict = "converged" if result.converged else "NOT converged"
+        print(
+            f"{report['nets']} nets on {report['grid']} grid "
+            f"(capacity {report['capacity']:.1f}/cell): {verdict} after "
+            f"{result.iteration_count} iteration(s)"
+        )
+        print(
+            f"  overuse={result.final_overuse:.1f} "
+            f"worst_delay={result.worst_delay:.3f} "
+            f"wirelength={result.total_wirelength:.1f} "
+            f"swaps={result.total_swaps}"
+        )
+        if args.baseline:
+            print(
+                f"  baseline (min_delay pin): "
+                f"iterations={report['baseline.iterations']} "
+                f"overuse={report['baseline.final_overuse']:.1f} "
+                f"wirelength={report['baseline.total_wirelength']:.1f}"
+            )
+    if args.heatmap_svg:
+        from .viz.heatmap import overuse_heatmap_svg
+        from .viz.svg import save_svg
+
+        save_svg(
+            overuse_heatmap_svg(
+                result.grid, title="negotiated demand/capacity"
+            ),
+            args.heatmap_svg,
+        )
+        print(f"[overuse heatmap written to {args.heatmap_svg}]")
+    return 0 if result.converged else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -564,6 +669,69 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument("--ledger", default=default_ledger)
     l.add_argument("-n", "--count", type=int, default=20)
     l.set_defaults(func=_cmd_obs_ledger)
+
+    p = sub.add_parser(
+        "negotiate",
+        help="PathFinder negotiated-congestion routing over Pareto frontiers",
+    )
+    p.add_argument("--nets", help=".nets input file (default: random scenario)")
+    p.add_argument(
+        "--count", type=int, default=200,
+        help="random-scenario net count (ignored with --nets)",
+    )
+    p.add_argument("--cells", type=int, default=16, help="grid resolution")
+    p.add_argument(
+        "--span", type=float, default=1000.0, help="routing region [0, span]^2"
+    )
+    p.add_argument(
+        "--capacity", type=float, default=None,
+        help="routable wirelength per cell (default: auto from demand for "
+        "random scenarios, unlimited for --nets)",
+    )
+    p.add_argument(
+        "--utilization", type=float, default=0.45,
+        help="target utilisation for auto-capacity (default: 0.45)",
+    )
+    p.add_argument("--seed", type=int, default=2029)
+    p.add_argument(
+        "--max-iterations", type=int, default=40,
+        help="negotiation iteration cap (default: 40)",
+    )
+    p.add_argument(
+        "--pres-fac", type=float, default=0.5,
+        help="first-iteration present-congestion factor (default: 0.5)",
+    )
+    p.add_argument(
+        "--pres-fac-mult", type=float, default=1.6,
+        help="per-iteration escalation multiplier (default: 1.6)",
+    )
+    p.add_argument(
+        "--hist-fac", type=float, default=0.3,
+        help="history-cost factor (default: 0.3)",
+    )
+    p.add_argument(
+        "--slack", type=float, default=0.25,
+        help="per-net delay budget slack (default: 0.25)",
+    )
+    p.add_argument(
+        "--policy", default=None,
+        help="pin every net to one frontier point policy (min_wirelength / "
+        "min_delay / knee / budget:<slack>) instead of negotiating freely",
+    )
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="also run the min-delay-pinned single-tree baseline and report "
+        "both",
+    )
+    p.add_argument(
+        "--heatmap-svg", metavar="PATH",
+        help="write the final demand/overuse grid as an SVG heatmap",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    _add_profile_flags(p)
+    p.set_defaults(func=_cmd_negotiate)
 
     p = sub.add_parser(
         "serve", help="run the routing daemon (Unix socket / TCP JSON service)"

@@ -1,10 +1,21 @@
 """Congestion extension: the paper's future-work metric, implemented.
 
 Tri-objective (wirelength, delay, congestion) Pareto optimisation —
-exact for small nets, embedding-optimised annotation for any net.
+exact for small nets, embedding-optimised annotation for any net — plus
+the chip-scale PathFinder negotiation subsystem
+(:mod:`repro.congestion.negotiate`): thousands of nets on one
+:class:`CapacityGrid`, each swapping between its precomputed frontier
+points as congestion prices move.
 """
 
-from .model import CongestionMap
+from .model import CapacityGrid, CongestionMap, scan_cells
+from .negotiate import (
+    IterationStats,
+    NegotiatedRouter,
+    NegotiationResult,
+    NegotiatorConfig,
+    Scenario,
+)
 from .pareto3 import (
     Solution3,
     dominates3,
@@ -20,7 +31,13 @@ from .router import (
 )
 
 __all__ = [
+    "CapacityGrid",
     "CongestionMap",
+    "IterationStats",
+    "NegotiatedRouter",
+    "NegotiationResult",
+    "NegotiatorConfig",
+    "Scenario",
     "Solution3",
     "congestion_annotated_front",
     "dominates3",
@@ -29,5 +46,6 @@ __all__ = [
     "pareto_dw3",
     "pareto_filter3",
     "project_wd",
+    "scan_cells",
     "weakly_dominates3",
 ]

@@ -24,6 +24,7 @@ def dominates3(a: Objective3, b: Objective3) -> bool:
 
 
 def weakly_dominates3(a: Objective3, b: Objective3) -> bool:
+    """True when ``a`` is no worse than ``b`` in every component."""
     return a[0] <= b[0] and a[1] <= b[1] and a[2] <= b[2]
 
 
@@ -53,6 +54,7 @@ def set_free(solutions: Iterable[Solution3]) -> List[Solution3]:
 
 
 def is_pareto_front3(solutions: Sequence[Solution3]) -> bool:
+    """True when no solution weakly dominates another (a strict front)."""
     objs = [(s[0], s[1], s[2]) for s in solutions]
     for i, a in enumerate(objs):
         for j, b in enumerate(objs):

@@ -23,7 +23,18 @@ use instead of hand-built method dicts)::
 
 from __future__ import annotations
 
-from .protocol import Router, RouterCapabilities
+from .protocol import (
+    DelayBudgetPolicy,
+    KneePolicy,
+    MinDelayPolicy,
+    MinWirelengthPolicy,
+    POINT_POLICIES,
+    PointPolicy,
+    Router,
+    RouterCapabilities,
+    resolve_point_policy,
+    route_select,
+)
 from .registry import (
     RouterEntry,
     available_routers,
@@ -39,9 +50,15 @@ from .adapters import FunctionRouter, single_tree_router
 
 __all__ = [
     "CACHE_MODES",
+    "DelayBudgetPolicy",
     "EngineSpec",
     "FunctionRouter",
+    "KneePolicy",
+    "MinDelayPolicy",
+    "MinWirelengthPolicy",
     "ObservedRouter",
+    "POINT_POLICIES",
+    "PointPolicy",
     "Router",
     "RouterCapabilities",
     "RouterEntry",
@@ -52,6 +69,8 @@ __all__ = [
     "create_router",
     "display_names",
     "register_router",
+    "resolve_point_policy",
+    "route_select",
     "router_entry",
     "single_tree_router",
 ]

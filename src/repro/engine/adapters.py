@@ -182,7 +182,10 @@ def make_rsmt() -> Router:
     """The RSMT engine as a one-solution router."""
     from ..baselines.rsmt import rsmt
 
-    return single_tree_router("rsmt", rsmt, RouterCapabilities(pareto=False))
+    return single_tree_router(
+        "rsmt", rsmt,
+        RouterCapabilities(pareto=False, frontier_selection=False),
+    )
 
 
 @register_router(
@@ -194,7 +197,10 @@ def make_rsma() -> Router:
     """The RSMA heuristic as a one-solution router."""
     from ..baselines.rsma import rsma
 
-    return single_tree_router("rsma", rsma, RouterCapabilities(pareto=False))
+    return single_tree_router(
+        "rsma", rsma,
+        RouterCapabilities(pareto=False, frontier_selection=False),
+    )
 
 
 #: Re-exported for keeping adapter defaults in sync with PatLabor's lambda.

@@ -12,9 +12,10 @@ and compose middleware around this protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
 
 from ..core.pareto import Solution
+from ..exceptions import PolicyError
 from ..geometry.net import Net
 
 
@@ -38,12 +39,18 @@ class RouterCapabilities:
     deterministic:
         True when repeated calls on the same net return identical
         results — the property the canonicalizing cache relies on.
+    frontier_selection:
+        True when the frontier offers a meaningful point choice, i.e.
+        :func:`route_select` can pick between genuinely different
+        trade-offs. False for single-tree constructors (their singleton
+        fronts always select index 0; the call still works).
     """
 
     exact_up_to: Optional[int] = None
     max_degree: Optional[int] = None
     pareto: bool = True
     deterministic: bool = True
+    frontier_selection: bool = True
 
 
 @runtime_checkable
@@ -72,3 +79,182 @@ class Router(Protocol):
     def route(self, net: Net) -> List[Solution]:
         """The (possibly approximate) Pareto set of ``net``."""
         ...
+
+
+# --------------------------------------------------------- point selection
+
+
+@runtime_checkable
+class PointPolicy(Protocol):
+    """A frontier-point chooser: ``select(net, front) -> index``.
+
+    The frontier-selection hook shared by the congestion negotiator
+    (:mod:`repro.congestion.negotiate`) and the serve daemon's ``select``
+    request field: given a net and its routed frontier, return the index
+    of the point the caller should commit. Distinct from
+    :class:`repro.core.policy.SelectionPolicy`, which picks *pins* inside
+    the local search — this picks a whole tree off a finished front.
+    """
+
+    @property
+    def name(self) -> str:
+        """Spec string this policy round-trips through ``resolve_point_policy``."""
+        ...
+
+    def select(self, net: Net, front: Sequence[Solution]) -> int:
+        """Index into ``front`` of the chosen solution."""
+        ...
+
+
+def _argmin_by(front: Sequence[Solution], key_wd: Tuple[int, int]) -> int:
+    """Index minimising the (primary, secondary) objective pair."""
+    a, b = key_wd
+    return min(
+        range(len(front)), key=lambda k: (front[k][a], front[k][b], k)
+    )
+
+
+@dataclass(frozen=True)
+class MinWirelengthPolicy:
+    """Always the minimum-wirelength frontier point (delay breaks ties)."""
+
+    name: str = "min_wirelength"
+
+    def select(self, net: Net, front: Sequence[Solution]) -> int:
+        """Index of the (w, d)-lexicographic minimum."""
+        _require_front(front)
+        return _argmin_by(front, (0, 1))
+
+
+@dataclass(frozen=True)
+class MinDelayPolicy:
+    """Always the minimum-delay frontier point (wirelength breaks ties).
+
+    The timing-safe single-tree choice — what a classic timing-driven
+    router commits — and therefore the pinned-point baseline the
+    congestion negotiator is measured against.
+    """
+
+    name: str = "min_delay"
+
+    def select(self, net: Net, front: Sequence[Solution]) -> int:
+        """Index of the (d, w)-lexicographic minimum."""
+        _require_front(front)
+        return _argmin_by(front, (1, 0))
+
+
+@dataclass(frozen=True)
+class KneePolicy:
+    """The balanced trade-off: minimum normalized ``w + d``.
+
+    Both objectives are scaled to [0, 1] over the front's own range
+    (degenerate ranges contribute 0), so the pick is invariant to units.
+    """
+
+    name: str = "knee"
+
+    def select(self, net: Net, front: Sequence[Solution]) -> int:
+        """Index minimising the normalized objective sum."""
+        _require_front(front)
+        ws = [s[0] for s in front]
+        ds = [s[1] for s in front]
+        w_span = max(ws) - min(ws)
+        d_span = max(ds) - min(ds)
+
+        def score(k: int) -> Tuple[float, int]:
+            w_norm = (ws[k] - min(ws)) / w_span if w_span else 0.0
+            d_norm = (ds[k] - min(ds)) / d_span if d_span else 0.0
+            return (w_norm + d_norm, k)
+
+        return min(range(len(front)), key=score)
+
+
+@dataclass(frozen=True)
+class DelayBudgetPolicy:
+    """Cheapest point meeting ``(1 + slack) * delay_lower_bound``.
+
+    The Held–Perner-style constrained choice: minimum wirelength subject
+    to the per-net delay budget; when nothing is feasible (only possible
+    for approximate fronts missing the min-delay tree), falls back to
+    minimum delay.
+    """
+
+    slack: float = 0.25
+
+    @property
+    def name(self) -> str:
+        """Spec string (``budget:<slack>``)."""
+        return f"budget:{self.slack:g}"
+
+    def select(self, net: Net, front: Sequence[Solution]) -> int:
+        """Index of the cheapest budget-feasible point."""
+        _require_front(front)
+        budget = (1.0 + self.slack) * net.delay_lower_bound()
+        feasible = [k for k, s in enumerate(front) if s[1] <= budget + 1e-9]
+        if not feasible:
+            return _argmin_by(front, (1, 0))
+        return min(feasible, key=lambda k: (front[k][0], front[k][1], k))
+
+
+def _require_front(front: Sequence[Solution]) -> None:
+    """Reject selection over an empty front with a typed error."""
+    if not front:
+        raise PolicyError("cannot select a point from an empty frontier")
+
+
+#: Named point policies the string specs resolve to.
+POINT_POLICIES = {
+    "min_wirelength": MinWirelengthPolicy,
+    "min_wl": MinWirelengthPolicy,
+    "min_delay": MinDelayPolicy,
+    "knee": KneePolicy,
+}
+
+
+def resolve_point_policy(spec: Union[str, PointPolicy]) -> PointPolicy:
+    """A :class:`PointPolicy` from its spec (or pass one through).
+
+    Known specs: ``min_wirelength`` (alias ``min_wl``), ``min_delay``,
+    ``knee``, and ``budget:<slack>`` (e.g. ``budget:0.25``). Raises
+    :class:`~repro.exceptions.PolicyError` on anything else — the error
+    the serve daemon turns into an ``ok: false`` response.
+    """
+    if not isinstance(spec, str):
+        return spec
+    key = spec.strip().lower().replace("-", "_")
+    if key.startswith("budget:"):
+        try:
+            slack = float(key.split(":", 1)[1])
+        except ValueError:
+            raise PolicyError(f"malformed budget policy spec {spec!r}") from None
+        if slack < 0:
+            raise PolicyError(f"budget slack must be >= 0, got {slack}")
+        return DelayBudgetPolicy(slack=slack)
+    try:
+        return POINT_POLICIES[key]()
+    except KeyError:
+        known = ", ".join(sorted(POINT_POLICIES)) + ", budget:<slack>"
+        raise PolicyError(
+            f"unknown point policy {spec!r}; known: {known}"
+        ) from None
+
+
+def route_select(
+    router: Router, net: Net, policy: Union[str, PointPolicy]
+) -> Tuple[List[Solution], int]:
+    """Route ``net`` and pick one frontier point: ``(front, index)``.
+
+    The single code path behind the negotiator's pinned-point baseline
+    and the serve protocol's ``select`` field, so every caller agrees on
+    policy semantics. Raises :class:`~repro.exceptions.PolicyError` when
+    the policy returns an out-of-range index.
+    """
+    resolved = resolve_point_policy(policy)
+    front = router.route(net)
+    index = resolved.select(net, front)
+    if not 0 <= index < len(front):
+        raise PolicyError(
+            f"policy {resolved.name!r} chose index {index} on a "
+            f"{len(front)}-point front"
+        )
+    return front, index

@@ -22,6 +22,7 @@ from .design_flow import (
     DesignFlowResult,
     NetOutcome,
     route_design,
+    route_design_negotiated,
 )
 from .flow_report import render_flow_detail, render_flow_summary
 from .stats import Summary, bootstrap_ci, mean_with_ci, summarize
@@ -53,6 +54,7 @@ __all__ = [
     "render_flow_detail",
     "render_flow_summary",
     "route_design",
+    "route_design_negotiated",
     "summarize",
     "DESIGN_NAMES",
     "ICCAD15_DEGREE_COUNTS",

@@ -17,6 +17,12 @@ Three strategies make the comparison of the paper's intro concrete:
 * ``"pareto"``   — choose among PatLabor's full Pareto set,
 * ``"rsmt"``     — always the minimum-wirelength tree (timing-blind),
 * ``"shortest"`` — always the RSMA tree (wire-blind).
+
+:func:`route_design` is the *one-pass* flow (each net commits once, in
+order, and never reconsiders). :func:`route_design_negotiated` maps the
+same :class:`DesignFlowConfig` onto the iterative PathFinder negotiator
+(:mod:`repro.congestion.negotiate`), which rips up and re-chooses
+frontier points across iterations until no cell is over capacity.
 """
 
 from __future__ import annotations
@@ -150,6 +156,53 @@ def route_design(
     return DesignFlowResult(
         outcomes=outcomes, demand=demand, capacity=config.capacity
     )
+
+
+def route_design_negotiated(
+    nets: Sequence[Net],
+    config: Optional[DesignFlowConfig] = None,
+    *,
+    max_iterations: int = 40,
+    point_policy: Optional[str] = None,
+):
+    """Run the iterative PathFinder negotiation over a net list.
+
+    The :class:`DesignFlowConfig` frame carries over directly: the region
+    is ``[0, span]^2`` cut into ``cells × cells`` capacity cells of
+    ``config.capacity`` routable wirelength each, and every net's delay
+    budget is ``(1 + delay_slack) × delay_lower_bound``. Unlike
+    :func:`route_design`, nets negotiate across iterations — see
+    :class:`repro.congestion.negotiate.NegotiatedRouter`. Requires NumPy.
+
+    Returns the :class:`repro.congestion.negotiate.NegotiationResult`.
+    """
+    from ..congestion.model import CapacityGrid
+    from ..congestion.negotiate import (
+        NegotiatedRouter,
+        NegotiatorConfig,
+        Scenario,
+    )
+
+    config = config or DesignFlowConfig()
+    grid = CapacityGrid.uniform(
+        0,
+        0,
+        config.span,
+        config.span,
+        config.cells,
+        config.cells,
+        capacity=config.capacity,
+    )
+    scenario = Scenario(nets=list(nets), grid=grid)
+    negotiator = NegotiatedRouter(
+        scenario,
+        NegotiatorConfig(
+            delay_slack=config.delay_slack,
+            max_iterations=max_iterations,
+            point_policy=point_policy,
+        ),
+    )
+    return negotiator.run()
 
 
 #: Candidate-set strategies, mapped to :mod:`repro.engine` registry names

@@ -41,4 +41,8 @@ class SerializationError(ReproError):
 
 
 class PolicyError(ReproError):
-    """Pin-selection policy construction or training failed."""
+    """Policy construction or selection failed.
+
+    Raised both by pin-selection policies (:mod:`repro.core.policy`) and
+    by frontier point policies (:func:`repro.engine.resolve_point_policy`).
+    """

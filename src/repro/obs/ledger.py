@@ -296,6 +296,14 @@ _DIRECTION_RULES = (
     ("errors", "lower", False),
     ("fallbacks", "lower", False),
     ("rss", "lower", False),
+    # Negotiated-congestion convergence (see repro.congestion.negotiate):
+    # fewer passes, less overuse, smaller worst delay, and less wire are
+    # all better. ``wirelength`` sits after ``_rate`` so a saving-rate
+    # metric reads higher-is-better while raw totals read lower.
+    ("overuse", "lower", False),
+    ("iterations", "lower", False),
+    ("worst_delay", "lower", False),
+    ("wirelength", "lower", False),
 )
 
 

@@ -17,7 +17,7 @@ scrape as a live terminal view. See ``docs/observability.md``.
 
 from __future__ import annotations
 
-from .client import RoutedNet, ServeClient, ServeError
+from .client import RoutedNet, SelectedNet, ServeClient, ServeError
 from .http import METRICS_CONTENT_TYPE, TelemetryEndpoint
 from .pool import WorkerSpec
 from .server import RouteServer, ServeConfig, ServerThread
@@ -26,6 +26,7 @@ __all__ = [
     "METRICS_CONTENT_TYPE",
     "RoutedNet",
     "RouteServer",
+    "SelectedNet",
     "ServeClient",
     "ServeConfig",
     "ServeError",

@@ -33,6 +33,10 @@ from .protocol import (
 #: One routed net as returned by :meth:`ServeClient.route`.
 RoutedNet = Tuple[str, List[Solution]]
 
+#: One routed net plus its policy-chosen frontier index
+#: (:meth:`ServeClient.route_select`).
+SelectedNet = Tuple[str, List[Solution], int]
+
 
 class ServeError(ReproError):
     """An ``ok: false`` response (or a broken connection) from the daemon."""
@@ -143,6 +147,44 @@ class ServeClient:
         for net, payload in zip(nets, results):
             front = result_front(payload, net if with_trees else None)
             out.append((str(payload.get("name", net.name)), front))
+        return out
+
+    def route_select(
+        self,
+        nets: Sequence[Net],
+        policy: str,
+        *,
+        with_trees: bool = False,
+    ) -> List[SelectedNet]:
+        """Route ``nets`` and let the daemon pick one frontier point each.
+
+        ``policy`` is a point-policy spec (``min_wirelength`` /
+        ``min_delay`` / ``knee`` / ``budget:<slack>`` — see
+        :func:`repro.engine.resolve_point_policy`); selection runs inside
+        the worker, so callers that only want one tree per net get its
+        index without shipping the whole front through any extra hop.
+        Each result is ``(name, front, chosen_index)``.
+        """
+        response = self.request(
+            "route",
+            nets=[net_to_payload(n) for n in nets],
+            with_trees=with_trees,
+            select=policy,
+        )
+        results = response.get("results", [])
+        if len(results) != len(nets):
+            raise ServeError(
+                f"server answered {len(results)} results for {len(nets)} nets"
+            )
+        out: List[SelectedNet] = []
+        for net, payload in zip(nets, results):
+            front = result_front(payload, net if with_trees else None)
+            chosen = payload.get("chosen")
+            if not isinstance(chosen, int):
+                raise ServeError(
+                    f"server result for {net.name!r} carries no chosen index"
+                )
+            out.append((str(payload.get("name", net.name)), front, chosen))
         return out
 
     def route_tiers(self, nets: Sequence[Net]) -> Iterator[str]:

@@ -29,7 +29,7 @@ from typing import Any, Dict, Optional
 
 from .. import obs
 from ..engine.build import EngineSpec, build_engine
-from ..engine.protocol import Router
+from ..engine.protocol import Router, route_select
 from .protocol import net_from_payload, result_to_payload
 
 
@@ -110,6 +110,7 @@ def route_payload(
     with_trees: bool = False,
     request_id: Optional[str] = None,
     net_id: Optional[str] = None,
+    select: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Route one net payload on the resident engine (runs in a worker).
 
@@ -122,16 +123,26 @@ def route_payload(
     the route runs inside :func:`repro.obs.request_context`, so worker-
     side spans and ``net_routed`` events carry them, and they ride the
     result back (``request_id`` in the out dict) for end-to-end checks.
+
+    ``select`` is an optional frontier point-policy spec (see
+    :func:`repro.engine.resolve_point_policy`); when given, the chosen
+    index rides the result as ``"chosen"`` — the same selection hook the
+    congestion negotiator uses, applied worker-side so the whole front
+    never has to cross the wire just to pick one tree.
     """
     if _ENGINE is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool used before init_worker")
     engine = _ENGINE
     net = net_from_payload(payload)
+    chosen: Optional[int] = None
     mem0 = int(getattr(engine, "hits", 0))
     store0 = int(getattr(engine, "store_hits", 0))
     with obs.request_context(request_id, net_id):
         t0 = time.perf_counter()
-        front = engine.route(net)
+        if select is not None:
+            front, chosen = route_select(engine, net, select)
+        else:
+            front = engine.route(net)
         seconds = time.perf_counter() - t0
         obs.timer_observe("serve.worker_net_seconds", seconds)
     if int(getattr(engine, "hits", 0)) > mem0:
@@ -144,6 +155,8 @@ def route_payload(
         net.name or "net", front, served, with_trees=with_trees
     )
     out["seconds"] = seconds
+    if chosen is not None:
+        out["chosen"] = chosen
     if request_id is not None:
         out["request_id"] = request_id
     return out

@@ -9,12 +9,18 @@ cache tier; see ``docs/numerics.md``).
 Requests (client → server)::
 
     {"id": 1, "op": "ping"}
-    {"id": 2, "op": "route", "nets": [NET, ...], "with_trees": false}
+    {"id": 2, "op": "route", "nets": [NET, ...], "with_trees": false,
+     "select": "min_delay"?}
     {"id": 3, "op": "stats"}
     {"id": 4, "op": "shutdown"}
 
 where ``NET`` is ``{"name": str, "pins": [[x, y], ...]}`` with the source
 at index 0 — exactly :class:`~repro.geometry.net.Net`'s pin convention.
+``select`` (optional) is a frontier point-policy spec resolved by
+:func:`repro.engine.resolve_point_policy` (``min_wirelength`` /
+``min_delay`` / ``knee`` / ``budget:<slack>``); the policy runs inside
+the worker — the same selection hook the congestion negotiator uses —
+and the chosen index rides each result back as ``"chosen"``.
 
 Responses (server → client) echo the ``id`` and carry ``"ok"``::
 
@@ -24,7 +30,7 @@ Responses (server → client) echo the ``id`` and carry ``"ok"``::
     {"id": 9, "ok": false, "error": "why"}
 
 ``RESULT`` is ``{"name", "front": [[w, d], ...], "served", "seconds",
-"request_id"?, "trees"?}``: ``served`` tags the tier that produced the
+"request_id"?, "chosen"?, "trees"?}``: ``served`` tags the tier that produced the
 front (``"memory"`` / ``"store"`` / ``"routed"``), ``seconds`` is the
 worker-measured wall time the daemon folds into its per-tier latency
 histograms, and ``trees`` (only when requested) holds ``{"points":

@@ -54,6 +54,7 @@ from functools import partial
 from typing import Any, Dict, List, Optional
 
 from .. import obs
+from ..engine.protocol import resolve_point_policy
 from ..exceptions import ReproError
 from . import pool
 from .http import TelemetryEndpoint
@@ -428,6 +429,13 @@ class RouteServer:
                 f"limit is {MAX_NETS_PER_REQUEST}"
             )
         with_trees = bool(message.get("with_trees", False))
+        select = message.get("select")
+        if select is not None:
+            if not isinstance(select, str):
+                raise ReproError("route 'select' must be a policy spec string")
+            # Fail fast on the event loop (PolicyError is a ReproError),
+            # instead of once per net inside the workers.
+            resolve_point_policy(select)
         request_id = self._next_request_id()
         assert self._loop is not None and self._executor is not None
         self.queue_depth += len(nets)
@@ -443,6 +451,7 @@ class RouteServer:
                         with_trees,
                         request_id,
                         f"{request_id}/{index}",
+                        select,
                     ),
                 )
                 for index, payload in enumerate(nets)

@@ -1,10 +1,13 @@
 """Visualisation: SVG and ASCII rendering of trees and Pareto curves."""
 
 from .ascii_art import front_summary, pareto_ascii, tree_ascii
+from .heatmap import congestion_heatmap_svg, overuse_heatmap_svg
 from .svg import pareto_curve_svg, save_svg, tree_svg
 
 __all__ = [
+    "congestion_heatmap_svg",
     "front_summary",
+    "overuse_heatmap_svg",
     "pareto_ascii",
     "pareto_curve_svg",
     "save_svg",

@@ -2,14 +2,17 @@
 
 Renders a :class:`~repro.congestion.model.CongestionMap` (or any cell
 grid) as a colour-graded SVG, optionally overlaying routed trees — the
-classic global-router congestion picture.
+classic global-router congestion picture. For negotiated runs,
+:func:`overuse_heatmap_svg` renders a :class:`~repro.congestion.model.
+CapacityGrid`'s utilisation with overused cells outlined — the picture
+``repro negotiate --heatmap-svg`` writes per scenario.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..congestion.model import CongestionMap
+from ..congestion.model import CapacityGrid, CongestionMap
 from ..routing.embedding import embed_tree
 from ..routing.tree import RoutingTree
 
@@ -78,6 +81,85 @@ def congestion_heatmap_svg(
                 f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_px:.1f}" '
                 f'height="{cell_px:.1f}" fill="{color}" '
                 f'stroke="#ddd" stroke-width="0.5"/>'
+            )
+    for tree in trees:
+        for seg in embed_tree(tree):
+            parts.append(
+                f'<line x1="{tx(seg.a.x):.1f}" y1="{ty(seg.a.y):.1f}" '
+                f'x2="{tx(seg.b.x):.1f}" y2="{ty(seg.b.y):.1f}" '
+                f'stroke="#1f77b4" stroke-width="1.2" opacity="0.75"/>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def overuse_heatmap_svg(
+    grid: CapacityGrid,
+    trees: Sequence[RoutingTree] = (),
+    size: float = 480.0,
+    title: str = "overuse",
+    vmax: Optional[float] = None,
+) -> str:
+    """A standalone SVG of a capacity grid's utilisation and overuse.
+
+    Cell colour is demand/capacity through the heat ramp (``vmax``
+    defaults to the peak utilisation, never below 1.0 so the ramp's red
+    end always means "over capacity"); cells whose demand exceeds
+    capacity are additionally outlined in black — the per-iteration
+    congestion picture of a :class:`~repro.congestion.negotiate.
+    NegotiatedRouter` run. Tree overlays mirror
+    :func:`congestion_heatmap_svg`.
+    """
+    nx, ny = grid.nx, grid.ny
+    utils = [
+        [
+            (
+                float(grid.demand[ix, iy]) / float(grid.capacity[ix, iy])
+                if float(grid.capacity[ix, iy]) > 0
+                and float(grid.capacity[ix, iy]) != float("inf")
+                else 0.0
+            )
+            for iy in range(ny)
+        ]
+        for ix in range(nx)
+    ]
+    top = vmax if vmax is not None else max(
+        1.0, max((u for col in utils for u in col), default=1.0)
+    )
+    top = max(top, 1e-12)
+    margin = 28.0
+    board = size - 2 * margin
+    cell_px = board / max(nx, ny)
+    span_x = nx * grid.cell
+    span_y = ny * grid.cell
+
+    def tx(x: float) -> float:
+        return margin + (x - grid.xlo) / span_x * (nx * cell_px)
+
+    def ty(y: float) -> float:
+        return size - margin - (y - grid.ylo) / span_y * (ny * cell_px)
+
+    overused = grid.overused_cells()
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size:.0f}" '
+        f'height="{size:.0f}" viewBox="0 0 {size:.0f} {size:.0f}">'
+        f'<rect width="100%" height="100%" fill="white"/>'
+        f'<text x="{size / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13" font-family="sans-serif">{title} '
+        f"(peak util {top:.2f}, {overused} overused)</text>"
+    ]
+    for ix in range(nx):
+        for iy in range(ny):
+            color = _heat_color(utils[ix][iy] / top)
+            over = float(grid.demand[ix, iy]) > float(grid.capacity[ix, iy])
+            stroke = "#000" if over else "#ddd"
+            width = "1.5" if over else "0.5"
+            x = margin + ix * cell_px
+            y = size - margin - (iy + 1) * cell_px
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_px:.1f}" '
+                f'height="{cell_px:.1f}" fill="{color}" '
+                f'stroke="{stroke}" stroke-width="{width}"/>'
             )
     for tree in trees:
         for seg in embed_tree(tree):

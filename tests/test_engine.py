@@ -225,3 +225,82 @@ class TestSymmetryCacheTransparency:
         keys = {canonical_key(_dihedral_copy(net, t))[0]
                 for t in ALL_TRANSFORMS}
         assert len(keys) == 1
+
+
+class TestPointPolicies:
+    """Frontier point-selection policies (the negotiation/serve hook)."""
+
+    def _front(self):
+        # A strict sorted front: w ascending, d descending.
+        return [
+            (10.0, 40.0, "a"),
+            (14.0, 22.0, "b"),
+            (20.0, 20.0, "c"),
+        ]
+
+    def _net(self):
+        return Net.from_points((0, 0), [(10, 0), (0, 10)], name="p")
+
+    def test_named_policies_resolve_and_select(self):
+        from repro.engine import resolve_point_policy
+
+        net, front = self._net(), self._front()
+        assert resolve_point_policy("min_wirelength").select(net, front) == 0
+        assert resolve_point_policy("min_wl").select(net, front) == 0
+        assert resolve_point_policy("min_delay").select(net, front) == 2
+        knee = resolve_point_policy("knee").select(net, front)
+        assert knee in range(len(front))
+
+    def test_resolution_is_case_and_separator_insensitive(self):
+        from repro.engine import resolve_point_policy
+
+        a = resolve_point_policy("MIN-DELAY")
+        b = resolve_point_policy("min_delay")
+        assert a.name == b.name == "min_delay"
+
+    def test_budget_policy_picks_min_wire_within_slack(self):
+        from repro.engine import resolve_point_policy
+
+        net, front = self._net(), self._front()
+        lb = net.delay_lower_bound()
+        # Generous slack: every point feasible -> min wirelength wins.
+        wide = resolve_point_policy(f"budget:{40.0 / lb}")
+        assert wide.select(net, front) == 0
+        # Tight slack: only the min-delay point fits.
+        tight = resolve_point_policy("budget:0")
+        assert tight.select(net, front) == 2
+
+    def test_budget_policy_name_round_trips(self):
+        from repro.engine import resolve_point_policy
+
+        assert resolve_point_policy("budget:0.25").name == "budget:0.25"
+
+    def test_unknown_and_malformed_specs_raise(self):
+        from repro.engine import resolve_point_policy
+        from repro.exceptions import PolicyError
+
+        for spec in ("nope", "budget:", "budget:x", "budget:-1"):
+            with pytest.raises(PolicyError):
+                resolve_point_policy(spec)
+
+    def test_empty_front_raises(self):
+        from repro.engine import resolve_point_policy
+        from repro.exceptions import PolicyError
+
+        with pytest.raises(PolicyError):
+            resolve_point_policy("min_delay").select(self._net(), [])
+
+    def test_route_select_returns_front_and_valid_index(self):
+        from repro.engine import route_select
+
+        net = random_net(5, rng=random.Random(77), name="sel")
+        router = PatLabor()
+        front, chosen = route_select(router, net, "min_delay")
+        assert front == router.route(net)
+        assert 0 <= chosen < len(front)
+        assert front[chosen][1] == min(d for _w, d, _t in front)
+
+    def test_capabilities_flag_matches_router_kind(self):
+        assert create_router("patlabor").capabilities.frontier_selection
+        assert not create_router("rsmt").capabilities.frontier_selection
+        assert not create_router("rsma").capabilities.frontier_selection

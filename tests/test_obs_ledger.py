@@ -145,6 +145,23 @@ class TestDiff:
         assert ledger.metric_direction("peak_rss_kb") == "lower"
         assert ledger.metric_direction("dw.max_front_size") is None
 
+    def test_negotiation_metric_directions(self):
+        # The negotiate.* family (repro.congestion.negotiate): fewer
+        # passes, less overuse/delay/wire are improvements; the saving
+        # rate reads higher-is-better via the _rate rule despite also
+        # containing "wirelength".
+        assert ledger.metric_direction("negotiate.final_overuse") == "lower"
+        assert ledger.metric_direction("negotiate.iterations") == "lower"
+        assert ledger.metric_direction("negotiate.worst_delay") == "lower"
+        assert (
+            ledger.metric_direction("negotiate.total_wirelength") == "lower"
+        )
+        assert ledger.metric_direction("baseline.iterations") == "lower"
+        assert (
+            ledger.metric_direction("negotiate.wirelength_saving_rate")
+            == "higher"
+        )
+
     def test_throughput_drop_is_a_regression(self):
         deltas = ledger.diff_metrics(
             {"nets_per_second": 100.0}, {"nets_per_second": 80.0}

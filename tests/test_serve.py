@@ -194,6 +194,60 @@ class TestDaemon:
         assert results[0][1]
 
 
+class TestRouteSelect:
+    """The frontier point-selection hook over the wire."""
+
+    def test_chosen_index_matches_policy_worker_side(self, daemon):
+        nets = [
+            random_net(4 + i % 3, rng=random.Random(70 + i), name=f"s{i}")
+            for i in range(4)
+        ]
+        with _client(daemon) as client:
+            plain = dict(client.route(nets))
+            for policy, pick in (
+                ("min_wirelength", lambda f: min(range(len(f)),
+                                                 key=lambda k: (f[k][0], f[k][1]))),
+                ("min_delay", lambda f: min(range(len(f)),
+                                            key=lambda k: (f[k][1], f[k][0]))),
+            ):
+                for name, front, chosen in client.route_select(nets, policy):
+                    assert 0 <= chosen < len(front)
+                    # The daemon's selection agrees with a local replay
+                    # of the same policy over the same front.
+                    assert chosen == pick(front)
+                    assert [(w, d) for w, d, _t in front] == [
+                        (w, d) for w, d, _t in plain[name]
+                    ]
+
+    def test_select_with_trees_marks_choosable_tree(self, daemon):
+        net = random_net(5, rng=random.Random(80), name="seltree")
+        with _client(daemon) as client:
+            [(name, front, chosen)] = client.route_select(
+                [net], "budget:0.25", with_trees=True
+            )
+        assert name == net.name
+        tree = front[chosen][2]
+        assert tree is not None
+        tree.validate()
+
+    def test_plain_route_carries_no_chosen_field(self, daemon):
+        net = random_net(4, rng=random.Random(81), name="nochoose")
+        with _client(daemon) as client:
+            response = client.request("route", nets=[net_to_payload(net)])
+        assert "chosen" not in response["results"][0]
+
+    def test_bad_policy_is_one_error_response(self, daemon):
+        net = random_net(4, rng=random.Random(82), name="badpolicy")
+        with _client(daemon) as client:
+            with pytest.raises(ServeError, match="point policy"):
+                client.route_select([net], "frobnicate")
+            with pytest.raises(ServeError, match="string"):
+                client.request(
+                    "route", nets=[net_to_payload(net)], select=7
+                )
+            assert client.ping()  # connection survives both errors
+
+
 @pytest.fixture(scope="module")
 def telemetry_daemon(serve_dir):
     """A daemon with the HTTP telemetry sidecar on an ephemeral port."""

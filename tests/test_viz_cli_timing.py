@@ -161,3 +161,28 @@ class TestCli:
         prefix = str(tmp_path / "fig")
         assert main(["draw", str(path), "--prefix", prefix]) == 0
         assert (tmp_path / "fig_curve.svg").exists()
+
+    def test_negotiate_random_scenario(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        svg_path = tmp_path / "overuse.svg"
+        assert main([
+            "negotiate", "--count", "30", "--cells", "6", "--seed", "7",
+            "--baseline", "--heatmap-svg", str(svg_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out and "baseline" in out
+        assert svg_path.exists()
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_negotiate_json_report(self, capsys):
+        pytest.importorskip("numpy")
+        assert main([
+            "negotiate", "--count", "20", "--cells", "5", "--seed", "7",
+            "--json",
+        ]) == 0
+        import json as _json
+
+        report = _json.loads(capsys.readouterr().out)
+        assert report["nets"] == 20
+        assert report["negotiate.converged"] == 1.0
+        assert report["negotiate.final_overuse"] == 0.0

@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.baselines.rsmt import rsmt
 from repro.congestion.model import CongestionMap
 from repro.eval.design_flow import DesignFlowConfig, route_design
@@ -68,3 +70,46 @@ class TestFlowReport:
         results = self._results()
         out = render_flow_detail(results["pareto"], limit=2)
         assert "2 of 4 nets" in out
+
+
+class TestOveruseHeatmapSvg:
+    def _grid(self):
+        pytest.importorskip("numpy")
+        from repro.congestion.model import CapacityGrid
+        from repro.geometry.point import Point
+        from repro.routing.embedding import Segment
+
+        grid = CapacityGrid.uniform(0, 0, 100, 100, 4, 4, capacity=10.0)
+        # Push one cell over capacity.
+        seg = Segment(Point(0, 5), Point(25, 5))
+        grid.commit(*grid.rasterize_segment(seg)[:2])
+        return grid
+
+    def test_well_formed_and_marks_overuse(self):
+        from repro.viz.heatmap import overuse_heatmap_svg
+
+        svg = overuse_heatmap_svg(self._grid(), title="after pass 3")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") >= 16 + 1
+        assert "after pass 3" in svg and "1 overused" in svg
+        # Overused cells are outlined in black, the rest in grey.
+        assert 'stroke="#000"' in svg and 'stroke="#ddd"' in svg
+
+    def test_tree_overlay_and_vmax(self):
+        from repro.viz.heatmap import overuse_heatmap_svg
+
+        net = random_net(4, rng=random.Random(9), span=100.0)
+        svg = overuse_heatmap_svg(
+            self._grid(), trees=[rsmt(net)], vmax=4.0
+        )
+        assert "<line" in svg
+        assert "peak util 4.00" in svg
+
+    def test_infinite_capacity_renders_cold(self):
+        pytest.importorskip("numpy")
+        from repro.congestion.model import CapacityGrid
+        from repro.viz.heatmap import overuse_heatmap_svg
+
+        grid = CapacityGrid.uniform(0, 0, 100, 100, 4, 4)
+        svg = overuse_heatmap_svg(grid)
+        assert "0 overused" in svg
