@@ -12,6 +12,10 @@ gen-nets    Generate a synthetic ICCAD-15-like workload into a ``.nets`` file.
 compare     Run PatLabor vs SALT vs YSD on a net file and print
             Table III / Table IV style summaries.
 draw        Render a net's Pareto-optimal trees to SVG files.
+eco         Replay a ``.deltas`` edit stream (pin moves/adds/removes,
+            blockages — see ``repro.incremental``) through the
+            incremental engine; ``--compare-cold`` verifies exact-tier
+            fronts stay bit-identical to cold re-routes.
 serve       Run the routing daemon: a Unix-socket/TCP JSON service over a
             shared-LUT worker pool with an optional persistent cache store
             (see ``repro.serve``). ``--metrics-port`` binds the HTTP
@@ -301,6 +305,101 @@ def _cmd_negotiate(args: argparse.Namespace) -> int:
         )
         print(f"[overuse heatmap written to {args.heatmap_svg}]")
     return 0 if result.converged else 1
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from .engine import EngineSpec, build_engine
+    from .incremental.delta import apply_delta, load_deltas
+    from .incremental.engine import EXACT_TIERS
+    from .io.nets_format import load_nets
+    from .lut.default import default_table
+
+    nets = load_nets(args.nets)
+    deltas = load_deltas(args.deltas)
+    options = {"lut": default_table()}
+    if args.lut:
+        from .io.lut_io import load_lut
+
+        options = {"lut": load_lut(args.lut)}
+    spec = EngineSpec(
+        router="patlabor", router_options=options, cache="symmetry"
+    )
+    engine = build_engine(
+        EngineSpec(
+            router="patlabor",
+            router_options=dict(options),
+            cache="symmetry",
+            incremental=True,
+        )
+    )
+    t0 = _time.perf_counter()
+    for net in nets:
+        engine.route(net)
+    seed_s = _time.perf_counter() - t0
+    current = {net.name: net for net in nets}
+    tiers: dict = {}
+    eco_s = 0.0
+    reused = 0
+    total = 0
+    identical = 0
+    compared = 0
+    for index, delta in enumerate(deltas):
+        result = engine.apply_delta(delta)
+        tiers[result.tier] = tiers.get(result.tier, 0) + 1
+        eco_s += result.wall_s
+        reused += result.reused_masks
+        total += result.total_masks
+        line = (
+            f"#{index} {delta.kind} {delta.net or '-'}: tier={result.tier} "
+            f"reuse={result.reused_masks}/{result.total_masks} "
+            f"{result.wall_s:.6f}s"
+        )
+        if delta.kind != "blockage":
+            current[delta.net] = apply_delta(current[delta.net], delta)
+        if args.compare_cold and result.tier in EXACT_TIERS:
+            cold_front = build_engine(spec).route(current[delta.net])
+            warm = [(w, d) for w, d, _t in result.front or []]
+            cold = [(w, d) for w, d, _t in cold_front]
+            compared += 1
+            if warm == cold:
+                identical += 1
+                line += " bit-identical"
+            else:
+                line += " MISMATCH"
+        if not args.json:
+            print(line)
+    report = {
+        "nets": len(nets),
+        "deltas": len(deltas),
+        "seed_seconds": seed_s,
+        "eco_seconds": eco_s,
+        "mean_eco_seconds": eco_s / len(deltas) if deltas else 0.0,
+        "reuse_rate": reused / total if total else 0.0,
+        "tiers": dict(sorted(tiers.items())),
+    }
+    if args.compare_cold:
+        report["compared"] = compared
+        report["bit_identical"] = identical
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{report['deltas']} delta(s) over {report['nets']} net(s): "
+            f"seed {seed_s:.3f}s, eco {eco_s:.3f}s "
+            f"(mean {report['mean_eco_seconds']:.6f}s), "
+            f"mask reuse {report['reuse_rate']:.1%}"
+        )
+        if args.compare_cold:
+            print(
+                f"  exact-tier fronts bit-identical to cold: "
+                f"{identical}/{compared}"
+            )
+    if args.compare_cold and identical != compared:
+        return 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -732,6 +831,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_profile_flags(p)
     p.set_defaults(func=_cmd_negotiate)
+
+    p = sub.add_parser(
+        "eco",
+        help="replay a .deltas edit stream through the incremental engine",
+    )
+    p.add_argument(
+        "--nets", required=True, help=".nets workload to seed sessions from"
+    )
+    p.add_argument(
+        "--deltas", required=True, help=".deltas edit stream to replay"
+    )
+    p.add_argument(
+        "--lut", help="lookup table JSON (default: the bundled table)"
+    )
+    p.add_argument(
+        "--compare-cold", action="store_true",
+        help="cold re-route each edited net and check exact-tier fronts "
+        "match bit-identically (exit 1 on any mismatch)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p.set_defaults(func=_cmd_eco)
 
     p = sub.add_parser(
         "serve", help="run the routing daemon (Unix socket / TCP JSON service)"

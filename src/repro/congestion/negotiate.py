@@ -37,16 +37,20 @@ degree of freedom.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..core.pareto import Solution
 from ..geometry.net import Net, random_net
 from ..routing.embedding import embed_edge
 from .model import HAVE_NUMPY, Array, CapacityGrid, np
+
+if TYPE_CHECKING:  # runtime import is lazy (repro.incremental is optional here)
+    from ..incremental.delta import NetDelta
 
 #: Delay-budget comparison slack (mirrors ``eval.design_flow``).
 _FEAS_EPS = 1e-9
@@ -236,6 +240,35 @@ class Scenario:
             0.0, 0.0, span, span, cells, cells, capacity=capacity
         )
         return cls(nets=net_list, grid=grid)
+
+    def perturb(
+        self,
+        seed: int,
+        kind: str = "move",
+        count: int = 1,
+        blockage_scale: float = 0.5,
+    ) -> List["NetDelta"]:
+        """A deterministic ECO stream against this scenario's nets.
+
+        Delegates to :func:`repro.incremental.delta.perturb_nets` with
+        the grid frame as the coordinate span; ``kind`` is one of
+        ``"move"`` / ``"add"`` / ``"remove"`` / ``"blockage"``
+        (``blockage_scale`` sets how hard blockages bite). The stream is
+        valid replayed in order (each delta is generated against the
+        design as edited by the previous ones) and the same ``(seed,
+        kind, count)`` always yields the same deltas.
+        """
+        from ..incremental.delta import perturb_nets
+
+        span = self.grid.nx * self.grid.cell
+        return perturb_nets(
+            list(self.nets),
+            seed,
+            kind=kind,
+            count=count,
+            span=span,
+            blockage_scale=blockage_scale,
+        )
 
 
 class NegotiatedRouter:
@@ -466,16 +499,197 @@ class NegotiatedRouter:
             grid.update_history(self.config.hist_gain)
             grid.escalate(self.config.pres_fac_mult)
         chosen_map: Dict[str, int] = {}
+        committed_map: Dict[str, Tuple[Array, Array]] = {}
         for i, c in enumerate(compiled):
             final_k = chosen[i]
-            chosen_map[c.net.name or f"net{i}"] = (
-                int(final_k) if final_k is not None else 0
-            )
+            name = c.net.name or f"net{i}"
+            chosen_map[name] = int(final_k) if final_k is not None else 0
+            arrays = committed[i]
+            if arrays is not None:
+                committed_map[name] = arrays
         result = NegotiationResult(
             converged=converged,
             iterations=iterations,
             chosen=chosen_map,
             grid=grid,
+            committed=committed_map,
+        )
+        obs.gauge_set("negotiate.final_overuse", result.final_overuse)
+        obs.gauge_set("negotiate.worst_delay", result.worst_delay)
+        return result
+
+    # ------------------------------------------------------ incremental run
+
+    @staticmethod
+    def _region_cells(
+        grid: CapacityGrid, region: Tuple[float, float, float, float]
+    ) -> Array:
+        """Flat indices of every cell intersecting ``region`` (clamped)."""
+        x0, y0, x1, y1 = region
+        ix0 = max(0, int(math.floor((min(x0, x1) - grid.xlo) / grid.cell)))
+        ix1 = min(
+            grid.nx - 1, int(math.floor((max(x0, x1) - grid.xlo) / grid.cell))
+        )
+        iy0 = max(0, int(math.floor((min(y0, y1) - grid.ylo) / grid.cell)))
+        iy1 = min(
+            grid.ny - 1, int(math.floor((max(y0, y1) - grid.ylo) / grid.cell))
+        )
+        if ix1 < ix0 or iy1 < iy0:
+            return np.empty(0, dtype=np.int64)
+        ix = np.arange(ix0, ix1 + 1, dtype=np.int64)
+        iy = np.arange(iy0, iy1 + 1, dtype=np.int64)
+        return (ix[:, None] * grid.ny + iy[None, :]).reshape(-1)
+
+    def run_incremental(
+        self, previous: "NegotiationResult", delta: "NetDelta"
+    ) -> "NegotiationResult":
+        """Connection-based rip-up: renegotiate only what ``delta`` dirties.
+
+        Applies ``delta`` to the scenario in place (a net delta replaces
+        the named net and recompiles only its rasterization; a blockage
+        delta scales the capacity template over its region), then
+        partitions the design: **dirty** nets — the edited net plus
+        every net whose previously committed demand touches a dirty cell
+        (the edited net's old and new cells, or the blockage region) —
+        renegotiate from the PathFinder schedule's start, while every
+        other net has its previous committed demand replayed verbatim
+        and never moves. History prices carry over from ``previous``
+        (the VTR ``was_rerouted`` shape: invalidation is per connection,
+        accumulated congestion knowledge is not thrown away).
+
+        Falls back to a full :meth:`run` over the updated scenario —
+        compiled state is already cached, so frontier work is not
+        repeated — when the frozen-background negotiation cannot reach
+        zero overuse within the iteration cap. Raises ``ValueError``
+        when ``previous`` lacks committed state or names an unknown net.
+        """
+        if previous.committed is None:
+            raise ValueError(
+                "previous result lacks committed state; produce it with "
+                "run() on this NegotiatedRouter version"
+            )
+        from ..incremental.delta import apply_delta as apply_net_delta
+
+        compiled = self.prepare()
+        scenario = self.scenario
+        n_cells = scenario.grid.nx * scenario.grid.ny
+        dirty_mask = np.zeros(n_cells, dtype=bool)
+        edited_idx: Optional[int] = None
+        with obs.span("negotiate.eco_prepare"):
+            if delta.kind == "blockage":
+                assert delta.region is not None
+                cells = self._region_cells(scenario.grid, delta.region)
+                scenario.grid.capacity.reshape(-1)[cells] *= delta.scale
+                dirty_mask[cells] = True
+            else:
+                names = [c.net.name for c in compiled]
+                try:
+                    edited_idx = names.index(delta.net)
+                except ValueError:
+                    raise ValueError(
+                        f"delta names unknown net {delta.net!r}"
+                    ) from None
+                prev_commit = previous.committed.get(delta.net)
+                if prev_commit is not None and prev_commit[0].size:
+                    dirty_mask[prev_commit[0]] = True
+                new_net = apply_net_delta(compiled[edited_idx].net, delta)
+                engine = self._resolve_engine()
+                front = list(engine.route(new_net))
+                compiled[edited_idx] = self._compile_net(
+                    new_net, front, scenario.grid
+                )
+                nets = list(scenario.nets)
+                nets[edited_idx] = new_net
+                scenario.nets = nets
+                if compiled[edited_idx].cat_idx.size:
+                    dirty_mask[compiled[edited_idx].cat_idx] = True
+        dirty: List[int] = []
+        chosen: List[Optional[int]] = [None] * len(compiled)
+        committed: List[Optional[Tuple[Array, Array]]] = [None] * len(compiled)
+        grid = scenario.grid.fresh()
+        grid.history = previous.grid.history.copy()
+        grid.pres_fac = self.config.pres_fac_first
+        grid.hist_fac = self.config.hist_fac
+        for i, c in enumerate(compiled):
+            name = c.net.name or f"net{i}"
+            prev_arrays = previous.committed.get(name)
+            if (
+                i == edited_idx
+                or prev_arrays is None
+                or (prev_arrays[0].size and bool(dirty_mask[prev_arrays[0]].any()))
+            ):
+                dirty.append(i)
+                chosen[i] = previous.chosen.get(name)
+            else:
+                grid.commit(*prev_arrays)
+                committed[i] = prev_arrays
+                chosen[i] = previous.chosen.get(name, 0)
+        obs.counter_add("negotiate.eco_rerouted", len(dirty))
+        obs.counter_add("negotiate.eco_replayed", len(compiled) - len(dirty))
+        candidates = {i: self._candidate_points(compiled[i]) for i in dirty}
+        order = sorted(dirty, key=lambda i: (-compiled[i].criticality, i))
+        iterations: List[IterationStats] = []
+        converged = False
+        for iteration in range(1, self.config.max_iterations + 1):
+            t0 = time.perf_counter()
+            swaps = 0
+            with obs.span("negotiate.iteration"):
+                for i in order:
+                    c = compiled[i]
+                    prev = committed[i]
+                    if prev is not None:
+                        grid.ripup(*prev)
+                    costs, gcost = c.point_costs(grid.flat_prices())
+                    best: Optional[Tuple[float, float, float, int]] = None
+                    for k in candidates[i]:
+                        key = (
+                            float(costs[k]),
+                            float(c.point_w[k]),
+                            float(c.point_d[k]),
+                            k,
+                        )
+                        if best is None or key < best:
+                            best = key
+                    assert best is not None
+                    k = best[3]
+                    arrays = c.commit_arrays(k, gcost)
+                    grid.commit(*arrays)
+                    if chosen[i] is not None and chosen[i] != k:
+                        swaps += 1
+                    chosen[i] = k
+                    committed[i] = arrays
+            seconds = time.perf_counter() - t0
+            stats = self._iteration_stats(
+                iteration, grid, compiled, chosen, swaps, seconds
+            )
+            iterations.append(stats)
+            self._publish_iteration(stats)
+            if stats.total_overuse == 0.0:
+                converged = True
+                break
+            grid.update_history(self.config.hist_gain)
+            grid.escalate(self.config.pres_fac_mult)
+        if not converged:
+            # The frozen background can wedge negotiation (a clean net may
+            # need to move to free a cell) — widen to a full re-run; the
+            # cached compiled state makes this pure negotiation work.
+            obs.counter_add("negotiate.eco_fallbacks")
+            return self.run()
+        chosen_map: Dict[str, int] = {}
+        committed_map: Dict[str, Tuple[Array, Array]] = {}
+        for i, c in enumerate(compiled):
+            name = c.net.name or f"net{i}"
+            final_k = chosen[i]
+            chosen_map[name] = int(final_k) if final_k is not None else 0
+            arrays = committed[i]
+            if arrays is not None:
+                committed_map[name] = arrays
+        result = NegotiationResult(
+            converged=converged,
+            iterations=iterations,
+            chosen=chosen_map,
+            grid=grid,
+            committed=committed_map,
         )
         obs.gauge_set("negotiate.final_overuse", result.final_overuse)
         obs.gauge_set("negotiate.worst_delay", result.worst_delay)
@@ -534,12 +748,18 @@ class NegotiationResult:
     ``chosen`` maps net name to the frontier index the net ended on;
     ``grid`` is the run's own grid (demand as committed — hand it to
     :func:`repro.viz.overuse_heatmap_svg` for the congestion picture).
+    ``committed`` retains every net's final rasterized demand arrays —
+    the state :meth:`NegotiatedRouter.run_incremental` replays for nets
+    an ECO delta does not touch.
     """
 
     converged: bool
     iterations: List[IterationStats]
     chosen: Dict[str, int]
     grid: CapacityGrid
+    committed: Optional[Dict[str, Tuple[Array, Array]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def iteration_count(self) -> int:

@@ -283,6 +283,48 @@ class CachedRouter:
                 timer_observe("cache.store_put_seconds", perf_counter() - t2)
         return solutions
 
+    def lookup(self, net: Net) -> Optional[List[Solution]]:
+        """Peek both cache tiers without routing and without accounting.
+
+        The ECO short-circuit: an incremental edit that lands on a net
+        some canonical copy of which was already solved needs no solver
+        work at all. Serves exactly what :meth:`route` would serve on a
+        hit — LRU first (recency refreshed), then the persistent store
+        (promoted into the LRU) — but leaves the hit/miss counters alone,
+        so cache statistics keep meaning "route calls". Returns ``None``
+        on a miss in both tiers; the caller decides what to run.
+        """
+        with span("cache.key"):
+            key, t_query = self._key(net)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+            return self._serve_entry(entry, net, t_query)
+        if self.store is not None:
+            with span("cache.store_get"):
+                stored = self.store.get(key)
+            if stored is not None:
+                self._insert(key, stored)
+                return self._serve_entry(stored, net, t_query)
+        return None
+
+    def seed(self, net: Net, solutions: List[Solution]) -> None:
+        """Install an externally-computed frontier under ``net``'s key.
+
+        The write half of the ECO path: incremental solves bypass
+        :meth:`route`, so they publish their results here and later
+        edits (or ordinary ``route`` traffic on canonical copies) hit.
+        The entry is keyed and framed exactly as :meth:`route` would
+        have stored it. The persistent store is append-only, so it is
+        only written when the key is not already present on disk.
+        """
+        key, t_query = self._key(net)
+        self._insert(key, (net, t_query, list(solutions)))
+        if self.store is not None:
+            if self.store.get(key) is None:
+                with span("cache.store_put"):
+                    self.store.put(key, net, t_query, list(solutions))
+
     @property
     def hit_rate(self) -> float:
         """Fraction of calls served from either cache tier (0.0 when idle)."""

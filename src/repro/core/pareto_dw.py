@@ -331,8 +331,21 @@ def _pareto_dw_impl(
     with_trees: bool,
     stats: Optional[DWStats],
     kernels: bool = True,
+    reuse_fronts: Optional[Dict[int, Dict[GridNode, List[Solution]]]] = None,
+    capture: Optional[List[Dict[int, Dict[GridNode, List[Solution]]]]] = None,
 ) -> List[Solution]:
-    """The DP body of :func:`pareto_dw` (degree already validated)."""
+    """The DP body of :func:`pareto_dw` (degree already validated).
+
+    ``reuse_fronts`` maps sink-subset masks to already-solved per-node
+    fronts (from a previous solve whose :func:`dw_signature` matched);
+    those masks are installed verbatim and skipped by the DP, which is
+    what makes an ECO re-solve cheap. ``capture``, when given, receives
+    one dict ``{mask: {node: front}}`` of the complete solved table —
+    the snapshot :func:`pareto_dw_with_state` wraps into a
+    :class:`DWState`. Neither hook changes any computed value: reused
+    fronts are bit-identical to what the skipped computation would have
+    produced (see :class:`DWState` for the exactness argument).
+    """
     grid = HananGrid.of_net(net)
     pin_nodes = grid.pin_nodes()
     source_node = pin_nodes[0]
@@ -465,6 +478,9 @@ def _pareto_dw_impl(
     # Singletons.
     with span("dw.closure"):
         for si, s_node in enumerate(sink_nodes):
+            if reuse_fronts is not None and (1 << si) in reuse_fronts:
+                S[1 << si] = reuse_fronts[1 << si]
+                continue
             base = {s_node: [(0.0, 0.0, ("leaf", s_node))]}
             S[1 << si] = closure(base)
             if stats is not None:
@@ -477,6 +493,9 @@ def _pareto_dw_impl(
 
     for size in range(2, num_sinks + 1):
         for mask in masks_by_size[size]:
+            if reuse_fronts is not None and mask in reuse_fronts:
+                S[mask] = reuse_fronts[mask]
+                continue
             bits = [i for i in range(num_sinks) if mask >> i & 1]
             # Bounding box of the active sinks, for Lemma 3.
             if lemma3:
@@ -509,6 +528,10 @@ def _pareto_dw_impl(
             # is bounded by 2^(n-1) * |nodes| * |S|, fine for n <= 12.)
 
     result = S[full][source_node] if S[full] is not None else []
+    if capture is not None:
+        capture.append(
+            {mask: fronts for mask, fronts in enumerate(S) if fronts is not None}
+        )
     if not with_trees:
         return clean_front(result)
 
@@ -1072,3 +1095,188 @@ def reconstruct_tree(net: Net, grid: HananGrid, payload: Any) -> RoutingTree:
 def pareto_frontier(net: Net, **kwargs: Any) -> List[Tuple[float, float]]:
     """Bare ``(w, d)`` frontier of ``net`` (convenience wrapper)."""
     return [(w, d) for w, d, _ in pareto_dw(net, with_trees=False, **kwargs)]
+
+
+# ------------------------------------------------------ solver-state reuse
+#
+# The ECO path (repro.incremental). S[Q][v] depends only on: the grid's
+# coordinate lines, the Lemma-2 surviving node set, the distance matrix
+# (a function of the coordinate lines), the global Lemma-4 boundary flag,
+# and the sink subset Q with its bit indexing — never on the source, which
+# enters only at the final S[full][source_node] readout. Two solves that
+# agree on all of those therefore produce bit-identical fronts for every
+# shared subset, payload tie choices included, because the split
+# enumeration order of _splits_for_mask is a pure function of the same
+# inputs. That is the invariant DWState snapshots and pareto_dw_with_state
+# re-validates before reusing anything.
+
+
+#: A solved DP table: ``{mask: {node: sorted front}}`` with backpointer
+#: payloads (never materialized trees).
+DWFronts = Dict[int, Dict[GridNode, List[Solution]]]
+
+
+def dw_signature(net: Net) -> Tuple[Any, ...]:
+    """The grid identity two solves must share for DP-state reuse.
+
+    Captures everything ``S[Q][v]`` depends on besides the sink subsets
+    themselves: the Hanan coordinate lines (hence the distance matrix),
+    the Lemma-2 surviving node set (corner pruning depends on the whole
+    pin set), and whether Lemma 4 is globally active (``_boundary_order``
+    is all-or-nothing, and it decides split enumeration — which decides
+    payload survival on exact objective ties). Computed with the default
+    pruning flags, matching what :func:`pareto_dw` runs with.
+    """
+    grid = HananGrid.of_net(net)
+    sink_nodes = grid.pin_nodes()[1:]
+    corner = set(grid.corner_nodes())
+    nodes = tuple(v for v in grid.nodes() if v not in corner)
+    boundary = _boundary_order(grid, sink_nodes) is not None
+    return (tuple(grid.xs), tuple(grid.ys), nodes, boundary)
+
+
+@dataclass
+class DWState:
+    """Retained Dreyfus–Wagner solver state of one :func:`pareto_dw` solve.
+
+    ``fronts`` holds the complete solved table — every sink-subset mask's
+    per-node sorted Pareto front, payloads as backpointers. A later solve
+    whose :func:`dw_signature` equals ``signature`` may install any mask
+    whose sinks are positionally unchanged (same index, same coordinates)
+    and skip its computation; the skipped work would have reproduced the
+    stored fronts bit-for-bit (see the module comment above for why).
+
+    Fronts are stored in the tuple representation; :meth:`front_arrays`
+    exposes the same data as contiguous ``(w[], d[], payloads)`` arrays —
+    the :mod:`repro.core.frontier_array` layout — for array-engine
+    consumers. Both views describe one immutable solve; nothing here is
+    ever mutated after capture.
+    """
+
+    signature: Tuple[Any, ...]
+    sink_keys: Tuple[Tuple[float, float], ...]
+    fronts: DWFronts
+
+    @property
+    def num_masks(self) -> int:
+        """How many sink-subset masks the snapshot holds."""
+        return len(self.fronts)
+
+    def front_arrays(
+        self, mask: int, node: GridNode
+    ) -> Tuple[Any, Any, List[Any]]:
+        """One stored front as ``(w[], d[], payloads)`` arrays.
+
+        The array-representation view of the tuple-stored front (exact
+        float round trip — see :func:`repro.core.frontier_array.\
+front_to_arrays`). Returns empty arrays for an unknown mask/node.
+        """
+        from .frontier_array import front_to_arrays
+
+        front = self.fronts.get(mask, {}).get(node, [])
+        return front_to_arrays(front)
+
+
+@dataclass
+class DWReuse:
+    """Accounting of one state-reusing solve (what survived the edit)."""
+
+    reused_masks: int = 0
+    computed_masks: int = 0
+
+    @property
+    def total_masks(self) -> int:
+        """All sink-subset masks of the solve (reused + recomputed)."""
+        return self.reused_masks + self.computed_masks
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of subset fronts served from the snapshot (0.0 cold)."""
+        total = self.total_masks
+        return self.reused_masks / total if total else 0.0
+
+
+def _reusable_fronts(state: DWState, net: Net) -> Optional[DWFronts]:
+    """The subset of ``state.fronts`` valid for ``net``, or None.
+
+    Requires the grid signatures to match exactly, then keeps every mask
+    whose sink bits are *positionally unchanged* — sink ``i`` of the new
+    net sits at the same coordinates as sink ``i`` of the snapshot's net.
+    Index-preserving edits (one sink moved in place, a sink appended or
+    dropped from the end, the source moved) keep every untouched subset;
+    edits that renumber sinks invalidate everything, because the bit
+    indexing feeds the split enumeration order.
+    """
+    if state.signature != dw_signature(net):
+        return None
+    old_sinks = state.sink_keys
+    new_sinks = tuple((p.x, p.y) for p in net.sinks)
+    clean = 0
+    for i in range(min(len(old_sinks), len(new_sinks))):
+        if old_sinks[i] == new_sinks[i]:
+            clean |= 1 << i
+    reuse = {
+        mask: fronts
+        for mask, fronts in state.fronts.items()
+        if mask and mask & ~clean == 0
+    }
+    return reuse or None
+
+
+def pareto_dw_with_state(
+    net: Net,
+    *,
+    state: Optional[DWState] = None,
+    with_trees: bool = True,
+    max_degree: int = DEFAULT_MAX_DEGREE,
+    stats: Optional[DWStats] = None,
+) -> Tuple[List[Solution], DWState, DWReuse]:
+    """:func:`pareto_dw` with solver-state snapshot and reuse.
+
+    Solves ``net`` exactly like ``pareto_dw(net)`` — default pruning
+    flags, sorted-front kernels — but additionally returns a
+    :class:`DWState` snapshot of the full DP table and, when ``state``
+    from a previous solve is supplied, installs every still-valid subset
+    front instead of recomputing it. The returned frontier is
+    **bit-identical** to a cold ``pareto_dw(net)`` in either
+    representation (``"tuple"`` or ``"array"`` — the two are themselves
+    bit-identical by the ``docs/numerics.md`` contract); only the work
+    done differs. Reuse accounting comes back as a :class:`DWReuse`.
+
+    Raises :class:`~repro.exceptions.DegreeTooLargeError` when
+    ``net.degree > max_degree`` (same contract as :func:`pareto_dw`).
+    """
+    n = net.degree
+    if n > max_degree:
+        raise DegreeTooLargeError(n, max_degree)
+    flush = stats is None and _obs_enabled()
+    if flush:
+        stats = DWStats()
+    reuse_fronts = _reusable_fronts(state, net) if state is not None else None
+    capture: List[DWFronts] = []
+    with span("dw.solve"):
+        result = _pareto_dw_impl(
+            net,
+            lemma2=True,
+            lemma3=True,
+            lemma4=True,
+            with_trees=with_trees,
+            stats=stats,
+            kernels=True,
+            reuse_fronts=reuse_fronts,
+            capture=capture,
+        )
+    if flush:
+        assert stats is not None
+        _flush_dw_stats(stats)
+    fronts = capture[0]
+    new_state = DWState(
+        signature=dw_signature(net),
+        sink_keys=tuple((p.x, p.y) for p in net.sinks),
+        fronts=fronts,
+    )
+    reused = len(reuse_fronts) if reuse_fronts else 0
+    reuse = DWReuse(
+        reused_masks=reused, computed_masks=len(fronts) - reused
+    )
+    return result, new_state, reuse

@@ -160,13 +160,21 @@ class PatLabor:
 
     # -------------------------------------------------------- local search
 
-    def local_search(self, net: Net) -> List[Solution]:
-        """The paper's local-search loop for ``n > lambda`` nets."""
+    def local_search(
+        self, net: Net, seed_tree: Optional[RoutingTree] = None
+    ) -> List[Solution]:
+        """The paper's local-search loop for ``n > lambda`` nets.
+
+        ``seed_tree`` warm-starts the loop from an existing tree of
+        ``net`` (the ECO path adapts the pre-edit tree); by default the
+        search seeds from a fresh RSMT, the paper's configuration.
+        """
         from ..baselines.rsmt import rsmt
 
         with span("patlabor.local_search"):
-            with span("patlabor.rsmt_seed"):
-                seed_tree = rsmt(net)
+            if seed_tree is None:
+                with span("patlabor.rsmt_seed"):
+                    seed_tree = rsmt(net)
             w, d = seed_tree.objective()
             front: List[Solution] = [(w, d, seed_tree)]
             n = net.degree

@@ -58,6 +58,12 @@ class EngineSpec:
     observe:
         Install :class:`~repro.engine.middleware.ObservedRouter` (no-op
         unless :mod:`repro.obs` layers are enabled).
+    incremental:
+        Wrap the assembled stack in an
+        :class:`~repro.incremental.IncrementalRouter`, the ECO session
+        layer: the engine then accepts ``apply_delta`` edits and reuses
+        retained solver state, and its capabilities report
+        ``incremental=True``.
     """
 
     router: str = "patlabor"
@@ -68,6 +74,7 @@ class EngineSpec:
     cache_store_readonly: bool = False
     validate: bool = True
     observe: bool = True
+    incremental: bool = False
 
 
 def build_engine(spec: Union[EngineSpec, str, None] = None) -> Router:
@@ -112,4 +119,9 @@ def build_engine(spec: Union[EngineSpec, str, None] = None) -> Router:
         )
     if spec.validate:
         engine = ValidatingRouter(engine)
+    if spec.incremental:
+        # Imported lazily: repro.incremental imports this module.
+        from ..incremental.engine import IncrementalRouter
+
+        engine = IncrementalRouter(engine)
     return engine

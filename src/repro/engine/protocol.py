@@ -44,6 +44,12 @@ class RouterCapabilities:
         :func:`route_select` can pick between genuinely different
         trade-offs. False for single-tree constructors (their singleton
         fronts always select index 0; the call still works).
+    incremental:
+        True when the engine accepts :class:`~repro.incremental.NetDelta`
+        edits through ``apply_delta`` — i.e. an
+        :class:`~repro.incremental.IncrementalRouter` is installed in the
+        stack. False for plain stacks; every delta then needs a full
+        ``route``.
     """
 
     exact_up_to: Optional[int] = None
@@ -51,6 +57,7 @@ class RouterCapabilities:
     pareto: bool = True
     deterministic: bool = True
     frontier_selection: bool = True
+    incremental: bool = False
 
 
 @runtime_checkable

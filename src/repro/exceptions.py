@@ -46,3 +46,14 @@ class PolicyError(ReproError):
     Raised both by pin-selection policies (:mod:`repro.core.policy`) and
     by frontier point policies (:func:`repro.engine.resolve_point_policy`).
     """
+
+
+class ProtocolVersionError(ReproError):
+    """A serve request needs a newer wire-protocol version than it declared.
+
+    Raised by the daemon when a request uses a capability (e.g. the
+    ``eco`` op) introduced after the client's declared ``"v"`` field —
+    and re-raised typed on the client side from the response's
+    ``error_type``, so old clients fail with a clear upgrade message
+    instead of a ``KeyError`` deep in response handling.
+    """

@@ -18,17 +18,30 @@ Usage::
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.pareto import Solution
-from ..exceptions import ReproError, SerializationError
+from ..exceptions import ProtocolVersionError, ReproError, SerializationError
 from ..geometry.net import Net
 from .protocol import (
+    PROTOCOL_VERSION,
     decode_message,
     encode_message,
     net_to_payload,
     result_front,
 )
+
+if TYPE_CHECKING:
+    from ..incremental.delta import NetDelta
 
 #: One routed net as returned by :meth:`ServeClient.route`.
 RoutedNet = Tuple[str, List[Solution]]
@@ -79,9 +92,21 @@ class ServeClient:
     # ------------------------------------------------------------ transport
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request; block for (and validate) its response."""
+        """Send one request; block for (and validate) its response.
+
+        Every request declares this build's :data:`PROTOCOL_VERSION` as
+        its ``"v"`` field. Failure responses whose ``error_type`` is
+        ``ProtocolVersionError`` re-raise as the typed
+        :class:`~repro.exceptions.ProtocolVersionError` (a
+        client/daemon version skew the caller can act on); everything
+        else raises :class:`ServeError`.
+        """
         self._next_id += 1
-        message: Dict[str, Any] = {"id": self._next_id, "op": op}
+        message: Dict[str, Any] = {
+            "id": self._next_id,
+            "op": op,
+            "v": PROTOCOL_VERSION,
+        }
         message.update(fields)
         self._fp.write(encode_message(message))
         self._fp.flush()
@@ -98,7 +123,10 @@ class ServeClient:
                 f"request id {message['id']}"
             )
         if not response.get("ok"):
-            raise ServeError(str(response.get("error", "unknown server error")))
+            error = str(response.get("error", "unknown server error"))
+            if response.get("error_type") == "ProtocolVersionError":
+                raise ProtocolVersionError(error)
+            raise ServeError(error)
         return response
 
     def close(self) -> None:
@@ -194,6 +222,82 @@ class ServeClient:
         )
         for payload in response.get("results", []):
             yield str(payload.get("served", "routed"))
+
+    def eco_seed(
+        self,
+        session: str,
+        nets: Sequence[Net],
+        *,
+        with_trees: bool = False,
+    ) -> List[RoutedNet]:
+        """Route and *track* ``nets`` in a daemon-held ECO session.
+
+        Creates the session on first touch (the daemon caps concurrent
+        sessions) and registers every named net for later
+        :meth:`eco_apply` edits. Requires protocol v2 — older daemons
+        answer with :class:`~repro.exceptions.ProtocolVersionError`.
+        Results follow :meth:`route`'s shape.
+        """
+        response = self.request(
+            "eco",
+            session=session,
+            nets=[net_to_payload(n) for n in nets],
+            with_trees=with_trees,
+        )
+        results = response.get("results", [])
+        if len(results) != len(nets):
+            raise ServeError(
+                f"server answered {len(results)} results for {len(nets)} nets"
+            )
+        out: List[RoutedNet] = []
+        for net, payload in zip(nets, results):
+            front = result_front(payload, net if with_trees else None)
+            out.append((str(payload.get("name", net.name)), front))
+        return out
+
+    def eco_apply(
+        self,
+        session: str,
+        delta: "NetDelta",
+        *,
+        with_trees: bool = False,
+        net: Optional[Net] = None,
+    ) -> Dict[str, Any]:
+        """Apply one :class:`~repro.incremental.delta.NetDelta` to a session.
+
+        Returns the daemon's reuse accounting — ``kind``, ``tier``,
+        ``cache_hit``, ``reused_masks``, ``total_masks``,
+        ``reuse_rate``, ``seconds`` — plus, for net edits, ``name`` and
+        the decoded ``front``. Trees are materialised only when
+        ``with_trees`` is set *and* the post-edit ``net`` is supplied
+        (tree validation needs the pin frame; compute it client-side
+        with :func:`repro.incremental.delta.apply_delta`).
+        """
+        from ..incremental.delta import delta_to_payload
+
+        response = self.request(
+            "eco",
+            session=session,
+            delta=delta_to_payload(delta),
+            with_trees=with_trees,
+        )
+        out = {
+            key: response.get(key)
+            for key in (
+                "kind",
+                "tier",
+                "cache_hit",
+                "reused_masks",
+                "total_masks",
+                "reuse_rate",
+                "seconds",
+            )
+        }
+        result = response.get("result")
+        if result is not None:
+            out["name"] = str(result.get("name", ""))
+            out["front"] = result_front(result, net if with_trees else None)
+        return out
 
     def stats(self) -> Dict[str, Any]:
         """The daemon's live throughput/cache statistics.

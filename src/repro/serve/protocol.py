@@ -8,11 +8,28 @@ cache tier; see ``docs/numerics.md``).
 
 Requests (client → server)::
 
-    {"id": 1, "op": "ping"}
-    {"id": 2, "op": "route", "nets": [NET, ...], "with_trees": false,
-     "select": "min_delay"?}
-    {"id": 3, "op": "stats"}
-    {"id": 4, "op": "shutdown"}
+    {"id": 1, "op": "ping", "v": 2}
+    {"id": 2, "op": "route", "v": 2, "nets": [NET, ...],
+     "with_trees": false, "select": "min_delay"?}
+    {"id": 3, "op": "stats", "v": 2}
+    {"id": 4, "op": "shutdown", "v": 2}
+    {"id": 5, "op": "eco", "v": 2, "session": "s1", "nets": [NET, ...]}
+    {"id": 6, "op": "eco", "v": 2, "session": "s1", "delta": DELTA,
+     "with_trees": false}
+
+``"v"`` is the client's wire-protocol version (:data:`PROTOCOL_VERSION`
+when emitted by :class:`~repro.serve.client.ServeClient`). Absent means
+version 1 — every v1 op still works unversioned, but ops introduced
+later (``eco`` needs :data:`MIN_VERSIONS`\\ ``["eco"]`` = 2) are
+rejected with a typed
+:class:`~repro.exceptions.ProtocolVersionError` so old clients get a
+clear upgrade message instead of a field-shape crash.
+
+The ``eco`` op speaks to a server-held incremental session: the
+``nets`` form routes and *tracks* the nets (creating the session), the
+``delta`` form applies one ``DELTA``
+(:func:`repro.incremental.delta.delta_to_payload` wire shape) and
+returns the re-routed result plus reuse accounting.
 
 where ``NET`` is ``{"name": str, "pins": [[x, y], ...]}`` with the source
 at index 0 — exactly :class:`~repro.geometry.net.Net`'s pin convention.
@@ -50,16 +67,51 @@ import json
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.pareto import Solution
-from ..exceptions import SerializationError
+from ..exceptions import ProtocolVersionError, SerializationError
 from ..geometry.net import Net
 from ..routing.tree import RoutingTree
 
 #: Operations a server understands; anything else is rejected politely.
-KNOWN_OPS = ("ping", "route", "stats", "shutdown")
+KNOWN_OPS = ("ping", "route", "stats", "shutdown", "eco")
+
+#: Wire-protocol version this build speaks. History: 1 — ping / route /
+#: stats / shutdown; 2 — adds the ``eco`` op and the ``error_type``
+#: field on failure responses.
+PROTOCOL_VERSION = 2
+
+#: Minimum protocol version a request must declare per gated op.
+#: Ops absent here work at any version (including unversioned v1).
+MIN_VERSIONS: Dict[str, int] = {"eco": 2}
 
 #: Hard cap on nets per single route request (a DoS guard, not a batching
 #: hint — clients may send many requests back to back on one connection).
 MAX_NETS_PER_REQUEST = 10_000
+
+
+def check_version(message: Dict[str, Any], op: str) -> None:
+    """Reject ``message`` when ``op`` needs a newer declared version.
+
+    The declared version is the integer ``"v"`` field, defaulting to 1
+    (pre-versioning clients). Raises
+    :class:`~repro.exceptions.ProtocolVersionError` with an upgrade
+    message when the op's :data:`MIN_VERSIONS` entry is not met.
+    """
+    needed = MIN_VERSIONS.get(op)
+    if needed is None:
+        return
+    raw = message.get("v", 1)
+    try:
+        declared = int(raw)
+    except (TypeError, ValueError):
+        raise ProtocolVersionError(
+            f"request field 'v' must be an integer, got {raw!r}"
+        ) from None
+    if declared < needed:
+        raise ProtocolVersionError(
+            f"op {op!r} requires protocol version >= {needed}, but the "
+            f"request declared {declared}; upgrade the client (this "
+            f"daemon speaks version {PROTOCOL_VERSION})"
+        )
 
 
 def encode_message(obj: Dict[str, Any]) -> bytes:

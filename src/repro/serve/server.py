@@ -43,15 +43,16 @@ gate, because it is how the daemon is *operated* rather than profiled:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import logging
 import threading
 import time
 import uuid
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from .. import obs
 from ..engine.protocol import resolve_point_policy
@@ -61,9 +62,16 @@ from .http import TelemetryEndpoint
 from .protocol import (
     KNOWN_OPS,
     MAX_NETS_PER_REQUEST,
+    PROTOCOL_VERSION,
+    check_version,
     decode_message,
     encode_message,
+    net_from_payload,
+    result_to_payload,
 )
+
+if TYPE_CHECKING:
+    from ..incremental.engine import IncrementalRouter
 
 #: Structured logger carrying the daemon's slow-request records.
 LOGGER = logging.getLogger("repro.serve")
@@ -74,6 +82,10 @@ TIERS = ("memory", "store", "routed")
 #: Line-buffer limit for reader streams: route batches and tree payloads
 #: are JSON lines that can far exceed asyncio's 64 KiB default.
 STREAM_LIMIT = 64 * 1024 * 1024
+
+#: Cap on concurrently-held ECO sessions (each holds an engine + per-net
+#: retained solver state; a runaway client must not exhaust the daemon).
+MAX_ECO_SESSIONS = 64
 
 
 @dataclass
@@ -151,7 +163,9 @@ class RouteServer:
         #: operated, not profiled). ``request_hist`` tracks whole-request
         #: wall time; ``net_hists`` tracks worker-measured per-net wall
         #: time keyed by the cache tier that served the net, so the three
-        #: tier counts sum to ``self.nets`` by construction.
+        #: tier counts sum to ``self.nets`` by construction (the ``eco``
+        #: lane is separate: keyed under ``"eco"``, counted by
+        #: ``self.eco_deltas``, never folded into ``self.nets``).
         self.request_hist = obs.LatencyHistogram()
         self.net_hists: Dict[str, obs.LatencyHistogram] = {
             tier: obs.LatencyHistogram() for tier in TIERS
@@ -168,6 +182,15 @@ class RouteServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._metrics_endpoint: Optional[TelemetryEndpoint] = None
         self._ready_task: Optional["asyncio.Task[None]"] = None
+        #: Daemon-held ECO sessions: one IncrementalRouter (own engine +
+        #: per-net retained state) per session id. Session engines never
+        #: attach the persistent store — it is flock single-writer and
+        #: belongs to the pool workers. All ECO work runs serialized on a
+        #: lazily-created single-thread executor (IncrementalRouter is
+        #: not thread-safe), off the event loop.
+        self._eco_sessions: Dict[str, "IncrementalRouter"] = {}
+        self._eco_executor: Optional[ThreadPoolExecutor] = None
+        self.eco_deltas = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -303,6 +326,10 @@ class RouteServer:
                 pass
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._eco_executor is not None:
+            self._eco_executor.shutdown(wait=True)
+            self._eco_executor = None
+        self._eco_sessions.clear()
 
     # ------------------------------------------------------------- handlers
 
@@ -351,6 +378,7 @@ class RouteServer:
                 raise ReproError(
                     f"unknown op {op!r}; expected one of {KNOWN_OPS}"
                 )
+            check_version(message, op)
             self.requests += 1
             obs.counter_add("serve.requests")
             if op == "ping":
@@ -360,16 +388,26 @@ class RouteServer:
             elif op == "shutdown":
                 response = {"ok": True, "stopping": True}
                 self.stop()
+            elif op == "eco":
+                response = await self._op_eco(message)
             else:
                 response = await self._op_route(message)
         except ReproError as exc:
             self.errors += 1
             obs.counter_add("serve.errors")
-            response = {"ok": False, "error": str(exc)}
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
         except Exception as exc:  # defensive: a request must never kill the loop
             self.errors += 1
             obs.counter_add("serve.errors")
-            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            response = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": type(exc).__name__,
+            }
         response["id"] = request_id
         seconds = time.perf_counter() - t0
         self.request_hist.observe(seconds)
@@ -476,6 +514,125 @@ class RouteServer:
                 hist.observe(float(seconds))
         return {"ok": True, "request_id": request_id, "results": list(results)}
 
+    # ------------------------------------------------------------------- eco
+
+    def _eco_router(self) -> "IncrementalRouter":
+        """A fresh session engine for one ECO session.
+
+        Built from the same spec the pool workers use, minus the
+        persistent store — the store is flock single-writer and belongs
+        to the pool workers; session engines live privately inside the
+        daemon process.
+        """
+        from ..incremental.engine import IncrementalRouter
+
+        spec = dataclasses.replace(self.config.worker_spec(), store_path=None)
+        return IncrementalRouter(spec.build())
+
+    async def _op_eco(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One ECO request: seed a session (``nets``) or apply a ``delta``.
+
+        Sessions are daemon-held :class:`IncrementalRouter` instances
+        keyed by the client-chosen ``session`` string. The ``nets`` form
+        routes and *tracks* the nets (creating the session on first
+        touch, up to :data:`MAX_ECO_SESSIONS`); the ``delta`` form
+        applies one edit against the retained state and answers with the
+        re-routed front plus reuse accounting. All session work runs
+        serialized on a single-thread executor — IncrementalRouter is
+        stateful and not thread-safe — so concurrent clients interleave
+        at delta granularity without corrupting retained solver state.
+        """
+        from ..incremental.delta import delta_from_payload
+
+        session_id = message.get("session")
+        if not isinstance(session_id, str) or not session_id:
+            raise ReproError("eco request needs a non-empty 'session' string")
+        assert self._loop is not None
+        if self._eco_executor is None:
+            self._eco_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-eco"
+            )
+        request_id = self._next_request_id()
+        with_trees = bool(message.get("with_trees", False))
+        nets = message.get("nets")
+        if nets is not None:
+            if not isinstance(nets, list) or not nets:
+                raise ReproError("eco 'nets' must be a non-empty list")
+            if len(nets) > MAX_NETS_PER_REQUEST:
+                raise ReproError(
+                    f"eco request carries {len(nets)} nets; "
+                    f"limit is {MAX_NETS_PER_REQUEST}"
+                )
+            router = self._eco_sessions.get(session_id)
+            if router is None:
+                if len(self._eco_sessions) >= MAX_ECO_SESSIONS:
+                    raise ReproError(
+                        f"eco session limit reached ({MAX_ECO_SESSIONS}); "
+                        "reuse an existing session id"
+                    )
+                router = self._eco_router()
+                self._eco_sessions[session_id] = router
+            parsed = [net_from_payload(payload) for payload in nets]
+
+            def _seed() -> List[Dict[str, Any]]:
+                return [
+                    result_to_payload(
+                        net.name,
+                        router.route(net),
+                        "eco",
+                        with_trees=with_trees,
+                    )
+                    for net in parsed
+                ]
+
+            results = await self._loop.run_in_executor(
+                self._eco_executor, _seed
+            )
+            return {
+                "ok": True,
+                "request_id": request_id,
+                "session": session_id,
+                "tracked": router.num_sessions,
+                "results": results,
+            }
+        delta_payload = message.get("delta")
+        if delta_payload is None:
+            raise ReproError(
+                "eco request needs 'nets' (seed/track) or 'delta' (apply)"
+            )
+        router = self._eco_sessions.get(session_id)
+        if router is None:
+            raise ReproError(
+                f"unknown eco session {session_id!r}; "
+                "seed it with a 'nets' request first"
+            )
+        delta = delta_from_payload(delta_payload)
+        eco = await self._loop.run_in_executor(
+            self._eco_executor, partial(router.apply_delta, delta)
+        )
+        self.eco_deltas += 1
+        hist = self.net_hists.get("eco")
+        if hist is None:
+            hist = self.net_hists["eco"] = obs.LatencyHistogram()
+        hist.observe(eco.wall_s)
+        response: Dict[str, Any] = {
+            "ok": True,
+            "request_id": request_id,
+            "session": session_id,
+            "kind": eco.kind,
+            "tier": eco.tier,
+            "cache_hit": eco.cache_hit,
+            "reused_masks": eco.reused_masks,
+            "total_masks": eco.total_masks,
+            "reuse_rate": eco.reuse_rate,
+            "seconds": eco.wall_s,
+        }
+        if eco.net is not None and eco.front is not None:
+            response["result"] = result_to_payload(
+                eco.net.name, eco.front, "eco", with_trees=with_trees
+            )
+        return response
+
     # ----------------------------------------------------------------- stats
 
     def stats(self) -> Dict[str, Any]:
@@ -495,6 +652,9 @@ class RouteServer:
             "uptime_seconds": uptime,
             "instance": self.instance,
             "ready": self.ready,
+            "protocol_version": PROTOCOL_VERSION,
+            "eco_sessions": len(self._eco_sessions),
+            "eco_deltas": self.eco_deltas,
             "workers": self.config.workers,
             "requests": self.requests,
             "nets": self.nets,
@@ -561,14 +721,20 @@ class RouteServer:
         reg.gauges["serve.warm_hit_rate"] = (
             warm / self.nets if self.nets else 0.0
         )
+        reg.counters["serve.eco_deltas"] = float(self.eco_deltas)
+        reg.gauges["serve.eco_sessions"] = float(len(self._eco_sessions))
         reg.histograms["serve.request_seconds"] = self.request_hist.clone()
         tier_hists = {
             f"serve.net_seconds.{tier}": hist.clone()
             for tier, hist in self.net_hists.items()
         }
         reg.histograms.update(tier_hists)
+        # The associative fold spans the cache tiers only; the "eco" lane
+        # counts delta applications (serve.eco_deltas), not routed nets,
+        # so folding it in would break count == serve.nets.
         reg.histograms["serve.net_seconds"] = obs.merge_histograms(
-            list(tier_hists.values())
+            [h for name, h in tier_hists.items()
+             if name != "serve.net_seconds.eco"]
         )
         return reg
 

@@ -4,7 +4,9 @@
 a deployment would: start ``repro serve`` as a real subprocess on a Unix
 socket with a fresh persistent store and the HTTP telemetry sidecar,
 route a small workload containing repeats over the socket, assert a warm
-hit rate above zero, then check the sidecar — ``/healthz`` answers,
+hit rate above zero, run one ``eco`` session end to end (seed nets,
+apply a pin-move delta, check the reuse accounting and the protocol-v2
+version gate), then check the sidecar — ``/healthz`` answers,
 ``/readyz`` reports ready, and ``/metrics`` serves a **structurally
 valid** Prometheus exposition (``validate_exposition``) whose merged
 per-tier histogram counts equal the daemon's net total — and shut the
@@ -25,6 +27,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from ..geometry.net import Net, random_net
+from ..incremental.delta import perturb_nets
 from ..obs import parse_prometheus_text, validate_exposition
 from .client import ServeClient, ServeError
 
@@ -111,6 +114,59 @@ def _check_telemetry(base_url: str, nets_total: float) -> Optional[str]:
     return None
 
 
+def _check_eco(client: ServeClient, socket_path: str) -> Optional[str]:
+    """One ECO session end to end; the failure diagnostic, or None.
+
+    Seeds a session with a fresh workload, applies one deterministic
+    pin-move delta, and checks the reuse accounting comes back. Also
+    probes the protocol-v2 version gate: an *unversioned* (v1) ``eco``
+    request must be rejected with ``error_type`` ``ProtocolVersionError``
+    — which the client surfaces as the typed exception.
+    """
+    rng = random.Random(77)
+    nets = [random_net(7, rng=rng, name=f"eco{i}") for i in range(3)]
+    seeded = client.eco_seed("smoke-eco", nets)
+    if len(seeded) != len(nets) or any(not front for _n, front in seeded):
+        return f"eco seed answered {seeded!r}"
+    delta = perturb_nets(nets, seed=78, kind="move", count=1)[0]
+    result = client.eco_apply("smoke-eco", delta)
+    if not result.get("front"):
+        return f"eco apply returned no front: {result!r}"
+    if not isinstance(result.get("total_masks"), int):
+        return f"eco apply carries no reuse accounting: {result!r}"
+    stats = client.stats()
+    if stats.get("eco_sessions") != 1 or stats.get("eco_deltas") != 1:
+        return (
+            f"eco stats off: sessions={stats.get('eco_sessions')} "
+            f"deltas={stats.get('eco_deltas')}"
+        )
+    # Version gate: an unversioned eco request must fail typed.
+    import json
+    import socket as socket_module
+
+    raw = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+    raw.settimeout(30.0)
+    try:
+        raw.connect(socket_path)
+        fp = raw.makefile("rwb")
+        fp.write(
+            (json.dumps({"id": 1, "op": "eco", "session": "x"}) + "\n").encode()
+        )
+        fp.flush()
+        response = json.loads(fp.readline())
+        fp.close()
+    finally:
+        raw.close()
+    if response.get("ok") or response.get("error_type") != "ProtocolVersionError":
+        return f"unversioned eco request not version-gated: {response!r}"
+    print(
+        f"eco OK: tier={result['tier']} "
+        f"reuse={result['reused_masks']}/{result['total_masks']} "
+        f"v1 rejected with ProtocolVersionError"
+    )
+    return None
+
+
 def main() -> int:
     """Run the smoke sequence; return a process exit code."""
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
@@ -147,6 +203,10 @@ def main() -> int:
                 )
                 if stats["warm_hit_rate"] <= 0.0:
                     print("FAIL: repeated nets produced no warm hits")
+                    return 1
+                problem = _check_eco(client, socket_path)
+                if problem is not None:
+                    print(f"FAIL: eco session: {problem}")
                     return 1
                 problem = _check_telemetry(
                     f"http://127.0.0.1:{METRICS_PORT}", float(stats["nets"])
